@@ -1,0 +1,204 @@
+// Package a64fxbench is the public API of the A64FX benchmarking-study
+// reproduction: a deterministic performance-simulation framework that
+// re-creates the measurement campaign of Jackson et al., "Investigating
+// Applications on the A64FX" (IEEE CLUSTER 2020), entirely in Go.
+//
+// The package exposes three layers:
+//
+//   - Machine models: the five benchmarked systems (A64FX, ARCHER,
+//     Cirrus, EPCC NGIO, Fulhame) with their Table I hardware
+//     capabilities, interconnects, and calibrated kernel efficiencies.
+//     See Systems and GetSystem.
+//
+//   - Benchmarks: runnable, metered versions of HPCG, minikab, Nekbone,
+//     COSA, CASTEP and OpenSBLI. Each has a Config describing the
+//     paper's setup and returns achieved rates or runtimes on the
+//     simulated machine. See RunHPCG and friends.
+//
+//   - Experiments: every table and figure of the paper's evaluation as a
+//     one-call artifact with paper-vs-measured comparison. See
+//     Experiments, GetExperiment.
+//
+// A minimal session:
+//
+//	sys, _ := a64fxbench.GetSystem(a64fxbench.A64FX)
+//	res, _ := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{System: sys, Nodes: 1})
+//	fmt.Printf("HPCG: %.2f GFLOP/s\n", res.GFLOPs)
+//
+//	exp, _ := a64fxbench.GetExperiment("table3")
+//	art, _ := exp.Run(a64fxbench.Options{Quick: true})
+//	fmt.Println(art.RenderComparison())
+package a64fxbench
+
+import (
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/castep"
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/cosa"
+	"a64fxbench/internal/hpcg"
+	"a64fxbench/internal/minikab"
+	"a64fxbench/internal/nekbone"
+	"a64fxbench/internal/opensbli"
+	"a64fxbench/internal/paper"
+	"a64fxbench/internal/units"
+)
+
+// Citation identifies the reproduced paper.
+type Citation = paper.Citation
+
+// PaperSource returns the full citation of the reproduced study.
+func PaperSource() Citation { return paper.Source() }
+
+// Quantity types used throughout the machine models.
+type (
+	// Bytes is a byte count (memory sizes, message sizes).
+	Bytes = units.Bytes
+	// ByteRate is a bandwidth in bytes per second.
+	ByteRate = units.ByteRate
+	// FlopRate is a floating-point rate in FLOP per second.
+	FlopRate = units.FlopRate
+)
+
+// Common quantity constants.
+const (
+	MiB       = units.MiB
+	GiB       = units.GiB
+	GBPerSec  = units.GBPerSec
+	TBPerSec  = units.TBPerSec
+	GFlopsPer = units.GFlopPerSec
+)
+
+// SystemID names one of the five benchmarked systems.
+type SystemID = arch.ID
+
+// The five systems of the study.
+const (
+	A64FX   = arch.A64FX
+	ARCHER  = arch.ARCHER
+	Cirrus  = arch.Cirrus
+	NGIO    = arch.NGIO
+	Fulhame = arch.Fulhame
+)
+
+// System is a complete machine description: node capability, node count
+// and interconnect.
+type System = arch.System
+
+// Systems returns every modelled system in the paper's column order.
+func Systems() []*System { return arch.All() }
+
+// GetSystem looks a system up by ID.
+func GetSystem(id SystemID) (*System, error) { return arch.Get(id) }
+
+// SystemIDs lists the five IDs in the paper's order.
+func SystemIDs() []SystemID { return arch.IDs() }
+
+// DeriveSystem registers a new system modelled on an existing one,
+// inheriting its calibration; mutate may adjust any hardware field. Use
+// it for what-if studies (e.g. an A64FX with DDR4 in place of HBM2).
+func DeriveSystem(base SystemID, newID SystemID, mutate func(*System)) (*System, error) {
+	return arch.Derive(base, newID, mutate)
+}
+
+// Toolchain is one row of the paper's Table II.
+type Toolchain = arch.Toolchain
+
+// Toolchains returns the paper's Table II rows.
+func Toolchains() []Toolchain { return arch.Toolchains() }
+
+// Experiment is one reproducible table or figure of the paper.
+type Experiment = core.Experiment
+
+// Artifact is a completed experiment result.
+type Artifact = core.Artifact
+
+// Options tunes experiment execution (Quick for smoke runs).
+type Options = core.Options
+
+// Experiments lists every table and figure of the paper's evaluation in
+// order.
+func Experiments() []*Experiment { return core.List() }
+
+// GetExperiment looks an experiment up by ID, e.g. "table3" or "fig4".
+func GetExperiment(id string) (*Experiment, error) { return core.Get(id) }
+
+// Extensions lists the ablation experiments that go beyond the paper
+// (interconnect swap, noise sensitivity, stencil code-generation study).
+func Extensions() []*Experiment { return core.Extensions() }
+
+// GetExtension looks an ablation experiment up by ID, e.g. "ext-network".
+func GetExtension(id string) (*Experiment, error) { return core.GetExtension(id) }
+
+// HPCG benchmark (Tables III and IV).
+type (
+	// HPCGConfig configures an HPCG run.
+	HPCGConfig = hpcg.Config
+	// HPCGResult is the HPCG rating.
+	HPCGResult = hpcg.Result
+)
+
+// RunHPCG executes the metered HPCG benchmark.
+func RunHPCG(cfg HPCGConfig) (HPCGResult, error) { return hpcg.Run(cfg) }
+
+// Minikab benchmark (Table V, Figures 1 and 2).
+type (
+	// MinikabConfig configures a minikab run.
+	MinikabConfig = minikab.Config
+	// MinikabResult is the minikab outcome.
+	MinikabResult = minikab.Result
+)
+
+// RunMinikab executes the metered minikab CG solve.
+func RunMinikab(cfg MinikabConfig) (MinikabResult, error) { return minikab.Run(cfg) }
+
+// MinikabMemoryPerNode estimates the per-node memory a minikab
+// configuration needs (matrix share, solver vectors, replicated setup).
+func MinikabMemoryPerNode(cfg MinikabConfig) Bytes { return minikab.MemoryPerNode(cfg) }
+
+// MinikabFitsMemory reports whether a configuration fits node memory —
+// the constraint behind the paper's Figure 1.
+func MinikabFitsMemory(cfg MinikabConfig) bool { return minikab.FitsMemory(cfg) }
+
+// Nekbone benchmark (Table VI, Figure 3, Table VII).
+type (
+	// NekboneConfig configures a Nekbone run.
+	NekboneConfig = nekbone.Config
+	// NekboneResult is the Nekbone outcome.
+	NekboneResult = nekbone.Result
+)
+
+// RunNekbone executes the metered Nekbone weak-scaling benchmark.
+func RunNekbone(cfg NekboneConfig) (NekboneResult, error) { return nekbone.Run(cfg) }
+
+// COSA benchmark (Table VIII, Figure 4).
+type (
+	// COSAConfig configures a COSA run.
+	COSAConfig = cosa.Config
+	// COSAResult is the COSA outcome.
+	COSAResult = cosa.Result
+)
+
+// RunCOSA executes the metered COSA strong-scaling benchmark.
+func RunCOSA(cfg COSAConfig) (COSAResult, error) { return cosa.Run(cfg) }
+
+// CASTEP benchmark (Table IX, Figure 5).
+type (
+	// CASTEPConfig configures a CASTEP run.
+	CASTEPConfig = castep.Config
+	// CASTEPResult is the CASTEP outcome.
+	CASTEPResult = castep.Result
+)
+
+// RunCASTEP executes the metered CASTEP TiN benchmark.
+func RunCASTEP(cfg CASTEPConfig) (CASTEPResult, error) { return castep.Run(cfg) }
+
+// OpenSBLI benchmark (Table X).
+type (
+	// OpenSBLIConfig configures an OpenSBLI run.
+	OpenSBLIConfig = opensbli.Config
+	// OpenSBLIResult is the OpenSBLI outcome.
+	OpenSBLIResult = opensbli.Result
+)
+
+// RunOpenSBLI executes the metered OpenSBLI Taylor-Green benchmark.
+func RunOpenSBLI(cfg OpenSBLIConfig) (OpenSBLIResult, error) { return opensbli.Run(cfg) }

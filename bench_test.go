@@ -1,0 +1,128 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact on
+// the simulated systems (Quick mode — the steady-state rates and shapes
+// are unchanged) and reports the headline quantity as a custom metric so
+// `go test -bench` output can be read against the paper directly.
+package a64fxbench_test
+
+import (
+	"testing"
+
+	"a64fxbench"
+)
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and returns the last artifact for metric extraction.
+func runExperiment(b *testing.B, id string) *a64fxbench.Artifact {
+	b.Helper()
+	exp, err := a64fxbench.GetExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var art *a64fxbench.Artifact
+	for i := 0; i < b.N; i++ {
+		art, err = exp.Run(a64fxbench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return art
+}
+
+// reportDeviation publishes the worst paper-vs-measured deviation of the
+// artifact as a metric (percent).
+func reportDeviation(b *testing.B, art *a64fxbench.Artifact) {
+	b.Helper()
+	worst, cells := art.MaxAbsDeviation()
+	if cells > 0 {
+		b.ReportMetric(worst*100, "worst-%-vs-paper")
+	}
+}
+
+// cellValue extracts a measured value by row label and column index.
+func cellValue(b *testing.B, art *a64fxbench.Artifact, rowLabel string, col int) float64 {
+	b.Helper()
+	for i, l := range art.RowLabels {
+		if l == rowLabel {
+			return art.Cells[i][col].Value
+		}
+	}
+	b.Fatalf("row %q not found in %s", rowLabel, art.ID)
+	return 0
+}
+
+func BenchmarkTableI(b *testing.B)  { runExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
+
+func BenchmarkTableIII(b *testing.B) {
+	art := runExperiment(b, "table3")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 0), "A64FX-GFLOPs")
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	art := runExperiment(b, "table4")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 3), "A64FX-8node-GFLOPs")
+}
+
+func BenchmarkTableV(b *testing.B) {
+	art := runExperiment(b, "table5")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 0), "A64FX-seconds")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	art := runExperiment(b, "fig1")
+	b.ReportMetric(cellValue(b, art, "4 ranks × 12 threads", 1), "best-config-seconds")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	art := runExperiment(b, "fig2")
+	b.ReportMetric(cellValue(b, art, "A64FX 8 nodes", 1), "A64FX-8node-seconds")
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	art := runExperiment(b, "table6")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 3), "A64FX-fastmath-GFLOPs")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	art := runExperiment(b, "fig3")
+	b.ReportMetric(cellValue(b, art, "A64FX", 0), "A64FX-1core-GFLOPs")
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	art := runExperiment(b, "table7")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 3), "A64FX-16node-PE")
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	art := runExperiment(b, "table8")
+	reportDeviation(b, art)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	art := runExperiment(b, "fig4")
+	b.ReportMetric(cellValue(b, art, "Fulhame", 4), "Fulhame-16node-seconds")
+	b.ReportMetric(cellValue(b, art, "A64FX", 4), "A64FX-16node-seconds")
+}
+
+func BenchmarkTableIX(b *testing.B) {
+	art := runExperiment(b, "table9")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 1), "A64FX-SCF-cycles-per-s")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	art := runExperiment(b, "fig5")
+	b.ReportMetric(cellValue(b, art, "EPCC NGIO", 8), "NGIO-48core-SCF-cps")
+}
+
+func BenchmarkTableX(b *testing.B) {
+	art := runExperiment(b, "table10")
+	reportDeviation(b, art)
+	b.ReportMetric(cellValue(b, art, "A64FX", 0), "A64FX-1node-seconds")
+}

@@ -1,0 +1,178 @@
+// Command a64fxbench reproduces the tables and figures of Jackson et
+// al., "Investigating Applications on the A64FX" (IEEE CLUSTER 2020) on
+// the simulated systems.
+//
+// Usage:
+//
+//	a64fxbench list                 list all experiments
+//	a64fxbench sysinfo              print the machine models (Table I)
+//	a64fxbench run <id> [...]       run experiments (e.g. table3 fig4)
+//	a64fxbench all                  run everything in paper order
+//
+// Flags:
+//
+//	-quick      reduce simulated iteration counts (fast smoke runs)
+//	-compare    show paper-vs-measured deltas beside each value
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"a64fxbench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduce simulated iteration counts for fast runs")
+	compare := flag.Bool("compare", false, "show paper references and deltas beside each value")
+	format := flag.String("format", "text", "output format: text, chart, json or csv")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = list()
+	case "sysinfo":
+		err = sysinfo()
+	case "run":
+		if len(args) < 2 {
+			err = fmt.Errorf("run needs at least one experiment id")
+			break
+		}
+		err = run(args[1:], *quick, *compare, *format)
+	case "ext":
+		var ids []string
+		if len(args) > 1 {
+			ids = args[1:]
+		} else {
+			for _, e := range a64fxbench.Extensions() {
+				ids = append(ids, e.ID)
+			}
+		}
+		err = run(ids, *quick, *compare, *format)
+	case "all":
+		var ids []string
+		for _, e := range a64fxbench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		err = run(ids, *quick, *compare, *format)
+	case "micro":
+		name := ""
+		if len(args) > 1 {
+			name = args[1]
+		}
+		err = microCmd(name)
+	case "profile":
+		if len(args) < 3 {
+			err = fmt.Errorf("usage: profile <benchmark> <system>")
+			break
+		}
+		err = profileCmd(args[1], args[2])
+	case "validate":
+		err = validateCmd()
+	case "trace":
+		name := "A64FX"
+		if len(args) > 1 {
+			name = args[1]
+		}
+		err = traceCmd(name, 40)
+	default:
+		err = fmt.Errorf("unknown command %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `a64fxbench — reproduce "Investigating Applications on the A64FX" (CLUSTER 2020)
+
+usage:
+  a64fxbench [flags] list
+  a64fxbench [flags] sysinfo
+  a64fxbench [flags] run <experiment-id> [...]
+  a64fxbench [flags] all
+  a64fxbench [flags] ext [id ...]        ablation experiments beyond the paper
+  a64fxbench micro [system]              model-validation microbenchmarks
+  a64fxbench profile <benchmark> <sys>   per-kernel-class time breakdown
+  a64fxbench trace [system]              virtual-time event timeline demo
+  a64fxbench validate                    self-check against the paper's values
+
+flags:
+  -quick    reduce simulated iteration counts (fast smoke runs)
+  -compare  show paper-vs-measured deltas beside each value
+  -format   text (default), chart, json or csv
+`)
+}
+
+func list() error {
+	for _, e := range a64fxbench.Experiments() {
+		fmt.Printf("%-12s %-6s %s\n", e.ID, e.Kind, e.Title)
+		fmt.Printf("             %s\n", e.Description)
+	}
+	fmt.Println("\nextensions (run with `ext`):")
+	for _, e := range a64fxbench.Extensions() {
+		fmt.Printf("%-12s %-6s %s\n", e.ID, e.Kind, e.Title)
+		fmt.Printf("             %s\n", e.Description)
+	}
+	return nil
+}
+
+func sysinfo() error {
+	for _, s := range a64fxbench.Systems() {
+		fmt.Printf("%s — %s\n", s.ID, s.Description)
+		fmt.Printf("  processor:  %s (%s), %.1f GHz, %d×%d cores, %d-bit vectors\n",
+			s.Processor, s.Microarch, s.ClockGHz, s.ProcessorsPerNode, s.CoresPerProcessor, s.VectorBits)
+		fmt.Printf("  peak:       %.1f GFLOP/s per node\n", s.PeakNodeGFlops())
+		fmt.Printf("  memory:     %v per node (%v per core), %v peak bandwidth\n",
+			s.MemoryPerNode(), s.MemoryPerCore(), s.Node.PeakBandwidth())
+		fmt.Printf("  network:    %s\n", s.NewFabric(s.MaxNodes).Name)
+		fmt.Printf("  max nodes:  %d\n\n", s.MaxNodes)
+	}
+	return nil
+}
+
+func run(ids []string, quick, compare bool, format string) error {
+	for _, id := range ids {
+		e, err := a64fxbench.GetExperiment(id)
+		if err != nil {
+			if e2, err2 := a64fxbench.GetExtension(id); err2 == nil {
+				e = e2
+			} else {
+				return err
+			}
+		}
+		art, err := e.Run(a64fxbench.Options{Quick: quick})
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch format {
+		case "json":
+			if err := art.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		case "csv":
+			if err := art.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		case "chart":
+			fmt.Println(art.RenderChart())
+		case "text", "":
+			if compare {
+				fmt.Println(art.RenderComparison())
+			} else {
+				fmt.Println(art.Render())
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil
+}

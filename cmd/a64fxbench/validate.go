@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"a64fxbench"
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/micro"
+	"a64fxbench/internal/paper"
+	"a64fxbench/internal/units"
+)
+
+// validateCmd is the self-check a downstream user runs after building:
+// it verifies the machine models against the paper's Table I, the
+// microbenchmarks against the spec inputs, and the single-node
+// calibration anchors against the published measurements. Exit status is
+// non-zero if any check fails.
+func validateCmd() error {
+	failures := 0
+	check := func(name string, ok bool, detail string) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  [%s] %-44s %s\n", status, name, detail)
+	}
+
+	fmt.Println("1. machine models vs the paper's Table I")
+	for name, row := range paper.TableI {
+		sys, err := arch.Get(arch.ID(name))
+		if err != nil {
+			check(string(name), false, "system missing")
+			continue
+		}
+		specOK := sys.ClockGHz == row.ClockGHz &&
+			sys.CoresPerNode() == row.CoresPerNode &&
+			sys.VectorBits == row.VectorBits &&
+			math.Abs(sys.PeakNodeGFlops()-row.MaxNodeDPGFlops) < 0.01
+		check(string(name), specOK,
+			fmt.Sprintf("%.1fGHz %dc %dbit %.1fGF", sys.ClockGHz,
+				sys.CoresPerNode(), sys.VectorBits, sys.PeakNodeGFlops()))
+	}
+
+	fmt.Println("2. microbenchmarks vs specification inputs")
+	for _, id := range arch.IDs() {
+		sys := arch.MustGet(id)
+		stream, err := micro.StreamTriad(sys, []int{sys.CoresPerNode()})
+		if err != nil {
+			return err
+		}
+		got := float64(stream[0].Bandwidth)
+		peak := float64(sys.Node.PeakBandwidth())
+		check(fmt.Sprintf("%s STREAM", id), got > 0.4*peak && got <= peak,
+			fmt.Sprintf("%.0f of %.0f GB/s", got/1e9, peak/1e9))
+		pp, err := micro.PingPong(sys, []units.Bytes{0})
+		if err != nil {
+			return err
+		}
+		lat := pp[0].HalfRoundTrip.Seconds()
+		check(fmt.Sprintf("%s latency", id), lat > 0.5e-6 && lat < 5e-6,
+			fmt.Sprintf("%.2f µs", lat*1e6))
+	}
+
+	fmt.Println("3. single-node calibration anchors vs published values")
+	anchor := func(name string, measured, published, tolerance float64) {
+		rel := math.Abs(measured-published) / published
+		check(name, rel <= tolerance,
+			fmt.Sprintf("%.3g vs paper %.3g (%+.1f%%)", measured, published, (measured-published)/published*100))
+	}
+	// HPCG (Table III).
+	for _, row := range paper.TableIII {
+		sys := arch.MustGet(arch.ID(row.System))
+		res, err := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{
+			System: sys, Nodes: 1, Iterations: 5, Optimised: row.Optimised,
+		})
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("HPCG %s", row.System)
+		if row.Optimised {
+			label += " (opt)"
+		}
+		anchor(label, res.GFLOPs, row.GFlops, 0.10)
+	}
+	// Nekbone (Table VI).
+	for sysName, row := range paper.TableVI {
+		sys := arch.MustGet(arch.ID(sysName))
+		plain, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: sys, Nodes: 1, Iterations: 15})
+		if err != nil {
+			return err
+		}
+		fast, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: sys, Nodes: 1, Iterations: 15, FastMath: true})
+		if err != nil {
+			return err
+		}
+		anchor(fmt.Sprintf("Nekbone %s", sysName), plain.GFLOPs, row.GFlops, 0.08)
+		anchor(fmt.Sprintf("Nekbone %s (fast)", sysName), fast.GFLOPs, row.GFlopsFastMath, 0.08)
+	}
+	// CASTEP (Table IX).
+	for sysName, row := range paper.TableIX {
+		sys := arch.MustGet(arch.ID(sysName))
+		res, err := a64fxbench.RunCASTEP(a64fxbench.CASTEPConfig{System: sys, Cycles: 3})
+		if err != nil {
+			return err
+		}
+		anchor(fmt.Sprintf("CASTEP %s", sysName), res.SCFCyclesPerSecond, row.SCFCyclesPerSec, 0.08)
+	}
+	// OpenSBLI (Table X, 1-node column).
+	for sysName, cols := range paper.TableX {
+		sys := arch.MustGet(arch.ID(sysName))
+		res, err := a64fxbench.RunOpenSBLI(a64fxbench.OpenSBLIConfig{System: sys, Nodes: 1})
+		if err != nil {
+			return err
+		}
+		anchor(fmt.Sprintf("OpenSBLI %s", sysName), res.Seconds, cols[0], 0.08)
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("validation failed: %d check(s)", failures)
+	}
+	fmt.Println("\nall checks passed")
+	return nil
+}

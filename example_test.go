@@ -1,0 +1,99 @@
+package a64fxbench_test
+
+import (
+	"fmt"
+
+	"a64fxbench"
+)
+
+// Example enumerates the machine models of the study.
+func Example() {
+	for _, id := range a64fxbench.SystemIDs() {
+		sys, err := a64fxbench.GetSystem(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d cores/node, %d-bit vectors\n",
+			sys.ID, sys.CoresPerNode(), sys.VectorBits)
+	}
+	// Output:
+	// A64FX: 48 cores/node, 512-bit vectors
+	// ARCHER: 24 cores/node, 256-bit vectors
+	// Cirrus: 36 cores/node, 256-bit vectors
+	// EPCC NGIO: 48 cores/node, 512-bit vectors
+	// Fulhame: 64 cores/node, 128-bit vectors
+}
+
+// ExampleExperiments lists the paper's reproducible artifacts.
+func ExampleExperiments() {
+	fmt.Println(len(a64fxbench.Experiments()), "experiments")
+	for _, e := range a64fxbench.Experiments()[:3] {
+		fmt.Println(e.ID, "—", e.Title)
+	}
+	// Output:
+	// 15 experiments
+	// table1 — Compute node specifications
+	// table2 — Compilers, compiler flags and libraries
+	// table3 — Single node HPCG performance
+}
+
+// ExampleRunHPCG runs the headline benchmark on one simulated A64FX node.
+func ExampleRunHPCG() {
+	sys, err := a64fxbench.GetSystem(a64fxbench.A64FX)
+	if err != nil {
+		panic(err)
+	}
+	res, err := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{
+		System: sys, Nodes: 1, Iterations: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The simulation is deterministic, so the rating is stable; the
+	// paper's measured value is 38.26 GFLOP/s.
+	fmt.Printf("%d ranks, %.0f GFLOP/s\n", res.Procs, res.GFLOPs)
+	// Output:
+	// 48 ranks, 38 GFLOP/s
+}
+
+// ExampleRunNekbone shows the fast-math effect of the paper's Table VI.
+func ExampleRunNekbone() {
+	sys, _ := a64fxbench.GetSystem(a64fxbench.A64FX)
+	plain, _ := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{
+		System: sys, Nodes: 1, Iterations: 10,
+	})
+	fast, _ := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{
+		System: sys, Nodes: 1, Iterations: 10, FastMath: true,
+	})
+	fmt.Printf("-Kfast speedup: %.1fx\n", fast.GFLOPs/plain.GFLOPs)
+	// Output:
+	// -Kfast speedup: 1.8x
+}
+
+// ExampleMinikabFitsMemory shows the Figure 1 memory ceiling.
+func ExampleMinikabFitsMemory() {
+	sys, _ := a64fxbench.GetSystem(a64fxbench.A64FX)
+	full := a64fxbench.MinikabConfig{System: sys, Nodes: 2, RanksPerNode: 48}
+	hybrid := a64fxbench.MinikabConfig{System: sys, Nodes: 2, RanksPerNode: 4, ThreadsPerRank: 12}
+	fmt.Println("96 plain-MPI ranks fit:", a64fxbench.MinikabFitsMemory(full))
+	fmt.Println("4×12 hybrid fits:     ", a64fxbench.MinikabFitsMemory(hybrid))
+	// Output:
+	// 96 plain-MPI ranks fit: false
+	// 4×12 hybrid fits:      true
+}
+
+// ExampleGetExperiment regenerates a full artifact of the paper.
+func ExampleGetExperiment() {
+	exp, err := a64fxbench.GetExperiment("table8")
+	if err != nil {
+		panic(err)
+	}
+	art, err := exp.Run(a64fxbench.Options{})
+	if err != nil {
+		panic(err)
+	}
+	worst, cells := art.MaxAbsDeviation()
+	fmt.Printf("%s: %d referenced cells, worst deviation %.0f%%\n", art.ID, cells, worst*100)
+	// Output:
+	// table8: 5 referenced cells, worst deviation 0%
+}

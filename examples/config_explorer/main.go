@@ -1,0 +1,69 @@
+// Config explorer: sweep minikab's MPI×OpenMP execution configurations
+// on two nodes of any system (Figure 1 generalised beyond the A64FX).
+// It shows the two effects the paper discusses: per-process replicated
+// memory capping plain-MPI population, and hybrid configurations
+// recovering the idle cores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"a64fxbench"
+)
+
+func main() {
+	sysName := flag.String("system", "A64FX", "system to explore (A64FX, ARCHER, Cirrus, EPCC NGIO, Fulhame)")
+	nodes := flag.Int("nodes", 2, "node count")
+	iters := flag.Int("iters", 150, "CG iterations to simulate")
+	flag.Parse()
+
+	sys, err := a64fxbench.GetSystem(a64fxbench.SystemID(*sysName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := sys.CoresPerNode()
+
+	// Enumerate rank×thread layouts that tile the node.
+	type layout struct{ rpn, tpr int }
+	var layouts []layout
+	for tpr := 1; tpr <= cores; tpr++ {
+		if cores%tpr != 0 {
+			continue
+		}
+		layouts = append(layouts, layout{cores / tpr, tpr})
+	}
+	sort.Slice(layouts, func(i, j int) bool { return layouts[i].tpr < layouts[j].tpr })
+
+	fmt.Printf("minikab Benchmark1 on %d × %s nodes (%d cores each)\n\n", *nodes, sys.ID, cores)
+	fmt.Printf("%-22s %10s %12s %10s\n", "configuration", "runtime", "GFLOP/s", "mem/node")
+
+	best := ""
+	bestTime := 0.0
+	for _, l := range layouts {
+		cfg := a64fxbench.MinikabConfig{
+			System: sys, Nodes: *nodes,
+			RanksPerNode: l.rpn, ThreadsPerRank: l.tpr,
+			Iterations: *iters,
+		}
+		label := fmt.Sprintf("%d ranks × %d threads", l.rpn, l.tpr)
+		res, err := a64fxbench.RunMinikab(cfg)
+		if err != nil {
+			fmt.Printf("%-22s %10s\n", label, "OOM")
+			continue
+		}
+		fmt.Printf("%-22s %9.2fs %12.1f %10s\n",
+			label, res.Seconds, res.GFLOPs, memPerNode(cfg))
+		if best == "" || res.Seconds < bestTime {
+			best, bestTime = label, res.Seconds
+		}
+	}
+	fmt.Printf("\nbest configuration: %s (%.2fs)\n", best, bestTime)
+}
+
+// memPerNode formats the configuration's per-node memory need.
+func memPerNode(cfg a64fxbench.MinikabConfig) string {
+	return a64fxbench.MinikabMemoryPerNode(cfg).String()
+}

@@ -1,0 +1,79 @@
+// HBM ablation: the paper attributes most of the A64FX's HPCG and
+// Nekbone wins to its on-package HBM2. This example tests that claim in
+// the model by deriving a hypothetical "A64FX-DDR" — the same cores,
+// vectors and calibration, but with the four HBM2 stacks replaced by a
+// dual-channel-per-CMG DDR4 memory system — and re-running the
+// bandwidth-sensitive benchmarks on both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a64fxbench"
+)
+
+func main() {
+	ddr, err := a64fxbench.DeriveSystem(a64fxbench.A64FX, "A64FX-DDR", func(s *a64fxbench.System) {
+		s.Description = "hypothetical A64FX with DDR4-2933 instead of HBM2"
+		for i := range s.Node.Domains {
+			// Each CMG drops from ~210 GB/s of HBM2 to ~45 GB/s of
+			// commodity DDR4 (two channels), with more capacity.
+			s.Node.Domains[i].PeakBandwidth = 45 * a64fxbench.GBPerSec
+			s.Node.Domains[i].PerCoreBandwidth = 12 * a64fxbench.GBPerSec
+			s.Node.Domains[i].Capacity = 32 * a64fxbench.GiB
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hbm, err := a64fxbench.GetSystem(a64fxbench.A64FX)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What does the A64FX owe to HBM2? Same chip, two memory systems:")
+	fmt.Println()
+	fmt.Printf("%-22s %18s %18s %9s\n", "benchmark", "A64FX (HBM2)", "A64FX-DDR", "HBM gain")
+
+	// HPCG: bandwidth bound — expect a large gap.
+	h1, err := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{System: hbm, Nodes: 1, Iterations: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{System: ddr, Nodes: 1, Iterations: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.2f GF/s %12.2f GF/s %8.2fx\n",
+		"HPCG (single node)", h1.GFLOPs, h2.GFLOPs, h1.GFLOPs/h2.GFLOPs)
+
+	// Nekbone without fast math: mostly compute bound — smaller gap.
+	n1, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: hbm, Nodes: 1, Iterations: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: ddr, Nodes: 1, Iterations: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.2f GF/s %12.2f GF/s %8.2fx\n",
+		"Nekbone", n1.GFLOPs, n2.GFLOPs, n1.GFLOPs/n2.GFLOPs)
+
+	// Nekbone with fast math: compute bound until the FPUs outrun DDR.
+	f1, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: hbm, Nodes: 1, Iterations: 15, FastMath: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{System: ddr, Nodes: 1, Iterations: 15, FastMath: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.2f GF/s %12.2f GF/s %8.2fx\n",
+		"Nekbone (fast math)", f1.GFLOPs, f2.GFLOPs, f1.GFLOPs/f2.GFLOPs)
+
+	fmt.Println()
+	fmt.Println("Reading: the HPCG gap tracks the bandwidth ratio, confirming the")
+	fmt.Println("paper's attribution; Nekbone's smaller gap shows its ax kernel is")
+	fmt.Println("compute bound, which is why -Kfast (not HBM) is what unlocks it.")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run the paper's headline experiment — single-node HPCG on
+// all five systems — and print the reproduced Table III beside the
+// published values.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a64fxbench"
+)
+
+func main() {
+	fmt.Println("Reproducing Table III: single-node HPCG across five systems")
+	fmt.Println()
+
+	// Run one benchmark directly through the public API...
+	sys, err := a64fxbench.GetSystem(a64fxbench.A64FX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a64fxbench.RunHPCG(a64fxbench.HPCGConfig{
+		System: sys, Nodes: 1, Iterations: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Direct run — HPCG on one %s node: %.2f GFLOP/s (%.1f%% of peak, %d ranks)\n\n",
+		sys.ID, res.GFLOPs, res.PctPeak, res.Procs)
+
+	// ...or reproduce the whole published table in one call.
+	exp, err := a64fxbench.GetExperiment("table3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := exp.Run(a64fxbench.Options{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(art.RenderComparison())
+}

@@ -1,0 +1,81 @@
+// Scaling study: reproduce the paper's two multi-node narratives — the
+// Nekbone weak-scaling parallel efficiencies across three interconnects
+// (TofuD vs EDR InfiniBand vs Aries, Table VII) and the COSA strong-
+// scaling crossover where block-distribution load balance hands the
+// 16-node win to Fulhame (Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a64fxbench"
+)
+
+func main() {
+	nekboneStudy()
+	fmt.Println()
+	cosaStudy()
+}
+
+func nekboneStudy() {
+	fmt.Println("Nekbone weak scaling: parallel efficiency by interconnect")
+	fmt.Printf("%-10s %-16s", "system", "network")
+	nodeCounts := []int{2, 4, 8, 16}
+	for _, n := range nodeCounts {
+		fmt.Printf("  %4dn", n)
+	}
+	fmt.Println()
+	for _, id := range []a64fxbench.SystemID{a64fxbench.A64FX, a64fxbench.Fulhame, a64fxbench.ARCHER} {
+		sys, err := a64fxbench.GetSystem(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{
+			System: sys, Nodes: 1, Iterations: 60, FastMath: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-16s", id, sys.NewFabric(16).Name)
+		for _, n := range nodeCounts {
+			res, err := a64fxbench.RunNekbone(a64fxbench.NekboneConfig{
+				System: sys, Nodes: n, Iterations: 60, FastMath: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %.2f", base.Seconds/res.Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(weak scaling: perfect efficiency keeps runtime constant, PE = T1/Tn)")
+}
+
+func cosaStudy() {
+	fmt.Println("COSA strong scaling: the 800-block load-balance crossover")
+	fmt.Printf("%-10s", "nodes")
+	for _, id := range a64fxbench.SystemIDs() {
+		fmt.Printf("  %12s", id)
+	}
+	fmt.Println()
+	for _, nodes := range []int{2, 4, 8, 16} {
+		fmt.Printf("%-10d", nodes)
+		for _, id := range a64fxbench.SystemIDs() {
+			sys, err := a64fxbench.GetSystem(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := a64fxbench.RunCOSA(a64fxbench.COSAConfig{System: sys, Nodes: nodes})
+			if err != nil {
+				fmt.Printf("  %12s", "OOM")
+				continue
+			}
+			fmt.Printf("  %8.2fs(%d)", res.Seconds, res.MaxBlocksPerProc)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(parenthesised: max blocks per process — the load-balance bottleneck;")
+	fmt.Println(" at 16 nodes Fulhame's 1024 ranks each take one block while 32 of the")
+	fmt.Println(" A64FX's 768 ranks take two, handing Fulhame the win as in the paper)")
+}

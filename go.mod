@@ -1,0 +1,3 @@
+module a64fxbench
+
+go 1.22

@@ -1,0 +1,398 @@
+// Package arch describes the five benchmarking systems of the study
+// exactly as the paper's Table I specifies them: processor, clock, core
+// counts, vector width, peak flops, memory, plus the memory-domain
+// structure (CMGs on the A64FX, sockets elsewhere) and interconnect that
+// the performance model needs.
+//
+// It also carries the Table II toolchain metadata and the calibrated
+// per-kernel efficiency tables (calibration.go) that turn hardware
+// capability into achievable rates.
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"a64fxbench/internal/netmodel"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+)
+
+// ID names one of the five benchmarked systems.
+type ID string
+
+// The five systems of the study.
+const (
+	A64FX   ID = "A64FX"
+	ARCHER  ID = "ARCHER"
+	Cirrus  ID = "Cirrus"
+	NGIO    ID = "EPCC NGIO"
+	Fulhame ID = "Fulhame"
+)
+
+// IDs lists the systems in the paper's column order.
+func IDs() []ID { return []ID{A64FX, ARCHER, Cirrus, NGIO, Fulhame} }
+
+// System is a complete machine description: one node's capability, the
+// node count, and the interconnect.
+type System struct {
+	// ID is the canonical system name.
+	ID ID
+	// Description is the one-line platform summary from §IV.
+	Description string
+	// Processor is the CPU product name.
+	Processor string
+	// Microarch is the microarchitecture label used in Table I.
+	Microarch string
+	// ClockGHz is the processor clock in GHz.
+	ClockGHz float64
+	// CoresPerProcessor and ProcessorsPerNode multiply to cores/node.
+	CoresPerProcessor int
+	ProcessorsPerNode int
+	// ThreadsPerCore is Table I's SMT description (informational; the
+	// study pins one process/thread per core throughout).
+	ThreadsPerCore string
+	// VectorBits is the SIMD width.
+	VectorBits int
+	// Node is the capability model fed to the roofline.
+	Node perfmodel.NodeCapability
+	// MaxNodes is the machine (or benchmark-accessible) node count.
+	MaxNodes int
+	// NewFabric constructs the interconnect model for a job of the
+	// given node count.
+	NewFabric func(nodes int) *netmodel.Fabric
+}
+
+// CoresPerNode reports the user-visible cores per node.
+func (s *System) CoresPerNode() int { return s.CoresPerProcessor * s.ProcessorsPerNode }
+
+// MemoryPerNode reports the node memory capacity.
+func (s *System) MemoryPerNode() units.Bytes { return s.Node.TotalMemory() }
+
+// MemoryPerCore reports bytes of memory per user core.
+func (s *System) MemoryPerCore() units.Bytes {
+	c := s.CoresPerNode()
+	if c == 0 {
+		return 0
+	}
+	return s.MemoryPerNode() / units.Bytes(c)
+}
+
+// PeakNodeGFlops reports Table I's "Maximum node DP GFLOP/s".
+func (s *System) PeakNodeGFlops() float64 { return s.Node.PeakFlops.GFLOPs() }
+
+// CostModel builds the calibrated roofline model for this system's nodes.
+func (s *System) CostModel() *perfmodel.CostModel {
+	return &perfmodel.CostModel{
+		Node:         s.Node,
+		Eff:          efficiencies[s.ID],
+		FastMathGain: fastMathGains[s.ID],
+	}
+}
+
+// PerRankCapability returns the slice of a node's capability that one MPI
+// rank owns when the node runs ranksPerNode ranks of threadsPerRank
+// threads each, pinned round-robin across memory domains (the paper's
+// methodology, §III.a). The returned capability treats the rank as a
+// one-domain mini-node, which is exact for the symmetric workloads in the
+// study.
+func (s *System) PerRankCapability(ranksPerNode, threadsPerRank int) perfmodel.NodeCapability {
+	if ranksPerNode < 1 {
+		ranksPerNode = 1
+	}
+	if threadsPerRank < 1 {
+		threadsPerRank = 1
+	}
+	active := ranksPerNode * threadsPerRank
+	if active > s.Node.Cores {
+		active = s.Node.Cores
+	}
+	totalBW := s.Node.PlacementBandwidth(active)
+	rankBW := units.ByteRate(float64(totalBW) / float64(ranksPerNode))
+	// NUMA penalty: a rank whose threads span multiple memory domains
+	// (CMGs on the A64FX, sockets elsewhere) pays for cross-domain
+	// traffic over the on-chip ring/interconnect. This is why one rank
+	// per CMG with 12 threads is the paper's best minikab layout.
+	if nd := len(s.Node.Domains); nd > 0 {
+		coresPerDomain := s.Node.Cores / nd
+		if coresPerDomain > 0 && threadsPerRank > coresPerDomain {
+			spans := (threadsPerRank + coresPerDomain - 1) / coresPerDomain
+			rankBW = units.ByteRate(float64(rankBW) / (1 + 0.15*float64(spans-1)))
+		}
+	}
+	// Underpopulated nodes clock up (turbo); the factor decays to 1 as
+	// the node fills, so fully-populated calibration anchors are
+	// unaffected.
+	boost := s.Node.TurboFactor(active)
+	perCoreFlops := s.Node.PeakFlops / units.FlopRate(s.Node.Cores) * units.FlopRate(boost)
+
+	totalL2 := s.Node.L2PerDomain * units.Bytes(len(s.Node.Domains))
+	l2Share := totalL2 / units.Bytes(ranksPerNode)
+	if l2Share > totalL2 {
+		l2Share = totalL2
+	}
+
+	return perfmodel.NodeCapability{
+		Name:               fmt.Sprintf("%s[%dx%d]", s.ID, ranksPerNode, threadsPerRank),
+		Cores:              threadsPerRank,
+		PeakFlops:          perCoreFlops * units.FlopRate(threadsPerRank),
+		ScalarFlopsPerCore: s.Node.ScalarFlopsPerCore,
+		Domains: []perfmodel.MemoryDomain{{
+			Cores:            threadsPerRank,
+			PeakBandwidth:    rankBW,
+			PerCoreBandwidth: units.ByteRate(float64(rankBW) / float64(threadsPerRank)),
+			Capacity:         s.MemoryPerNode() / units.Bytes(ranksPerNode),
+		}},
+		L2PerDomain:     l2Share,
+		PerCallOverhead: s.Node.PerCallOverhead,
+	}
+}
+
+// PerRankModel builds a calibrated cost model for one rank's share of a
+// node under the given process/thread layout.
+func (s *System) PerRankModel(ranksPerNode, threadsPerRank int) *perfmodel.CostModel {
+	return &perfmodel.CostModel{
+		Node:         s.PerRankCapability(ranksPerNode, threadsPerRank),
+		Eff:          efficiencies[s.ID],
+		FastMathGain: fastMathGains[s.ID],
+	}
+}
+
+// Derive registers a new system modelled on an existing one: the base
+// system's description and calibration are copied, then mutate may adjust
+// any field (memory domains, clock, interconnect, ...). This is the
+// entry point for ablation studies — e.g. "A64FX with DDR4 instead of
+// HBM2" — which inherit the base machine's kernel efficiencies.
+func Derive(base ID, newID ID, mutate func(*System)) (*System, error) {
+	b, err := Get(base)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := systems[newID]; dup {
+		return nil, fmt.Errorf("arch: system %q already exists", newID)
+	}
+	s := *b
+	s.ID = newID
+	// Deep-copy the memory domains so mutations don't alias the base.
+	s.Node.Domains = append([]perfmodel.MemoryDomain(nil), b.Node.Domains...)
+	if mutate != nil {
+		mutate(&s)
+	}
+	// Share the base calibration under the new ID.
+	if _, ok := efficiencies[newID]; !ok {
+		efficiencies[newID] = efficiencies[base]
+		fastMathGains[newID] = fastMathGains[base]
+	}
+	register(&s)
+	return &s, nil
+}
+
+// systems holds the registry, keyed by ID.
+var systems = map[ID]*System{}
+
+func register(s *System) *System {
+	if _, dup := systems[s.ID]; dup {
+		panic("arch: duplicate system " + string(s.ID))
+	}
+	systems[s.ID] = s
+	return s
+}
+
+// Get returns the system with the given ID.
+func Get(id ID) (*System, error) {
+	s, ok := systems[id]
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown system %q", id)
+	}
+	return s, nil
+}
+
+// MustGet is Get for known-constant IDs; it panics on failure.
+func MustGet(id ID) *System {
+	s, err := Get(id)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// All returns every registered system in the paper's column order, then
+// any extras sorted by name.
+func All() []*System {
+	var out []*System
+	seen := map[ID]bool{}
+	for _, id := range IDs() {
+		if s, ok := systems[id]; ok {
+			out = append(out, s)
+			seen[id] = true
+		}
+	}
+	var rest []*System
+	for id, s := range systems {
+		if !seen[id] {
+			rest = append(rest, s)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].ID < rest[j].ID })
+	return append(out, rest...)
+}
+
+// domain is a helper to build n identical memory domains.
+func domains(n int, cores int, peak, perCore units.ByteRate, capacity units.Bytes) []perfmodel.MemoryDomain {
+	out := make([]perfmodel.MemoryDomain, n)
+	for i := range out {
+		out[i] = perfmodel.MemoryDomain{
+			Cores:            cores,
+			PeakBandwidth:    peak,
+			PerCoreBandwidth: perCore,
+			Capacity:         capacity,
+		}
+	}
+	return out
+}
+
+// The five machines. Capability numbers are Table I where the paper gives
+// them; memory-domain bandwidths come from the processor documentation and
+// the STREAM measurements the paper cites (§II: >240 GB/s per ThunderX2
+// node; 256 GB/s per A64FX CMG theoretical, ~210 GB/s achievable).
+var (
+	// SystemA64FX is the Fujitsu early-access machine: 48 single-socket
+	// A64FX nodes on TofuD.
+	SystemA64FX = register(&System{
+		ID:                A64FX,
+		Description:       "Fujitsu A64FX test system, 48 single-processor nodes, TofuD network",
+		Processor:         "Fujitsu A64FX",
+		Microarch:         "SVE",
+		ClockGHz:          2.2,
+		CoresPerProcessor: 48,
+		ProcessorsPerNode: 1,
+		ThreadsPerCore:    "1",
+		VectorBits:        512,
+		MaxNodes:          48,
+		Node: perfmodel.NodeCapability{
+			Name:               "A64FX",
+			Cores:              48,
+			PeakFlops:          3379 * units.GFlopPerSec,
+			ScalarFlopsPerCore: 2 * 2.2 * units.GFlopPerSec,
+			// 4 CMGs, 8 GiB HBM2 each, 256 GB/s theoretical per
+			// CMG; ~210 GB/s achievable STREAM.
+			Domains:         domains(4, 12, 210*units.GBPerSec, 30*units.GBPerSec, 8*units.GiB),
+			L2PerDomain:     8 * units.MiB,
+			PerCallOverhead: units.Duration(300 * units.Nanosecond),
+		},
+		NewFabric: netmodel.NewTofuD,
+	})
+
+	// SystemARCHER is the Cray XC30: dual 12-core Ivy Bridge per node,
+	// Aries dragonfly.
+	SystemARCHER = register(&System{
+		ID:                ARCHER,
+		Description:       "Cray XC30, dual Intel Xeon E5-2697v2, Aries dragonfly network",
+		Processor:         "Intel Xeon E5-2697 v2",
+		Microarch:         "IvyBridge",
+		ClockGHz:          2.7,
+		CoresPerProcessor: 12,
+		ProcessorsPerNode: 2,
+		ThreadsPerCore:    "1 or 2",
+		VectorBits:        256,
+		MaxNodes:          4920,
+		Node: perfmodel.NodeCapability{
+			Name:               "ARCHER",
+			Cores:              24,
+			PeakFlops:          518.4 * units.GFlopPerSec,
+			ScalarFlopsPerCore: 2 * 2.7 * units.GFlopPerSec,
+			// 4-channel DDR3-1866 per socket: 59.7 GB/s peak,
+			// ~44 GB/s STREAM.
+			Domains:         domains(2, 12, 44*units.GBPerSec, 10*units.GBPerSec, 32*units.GiB),
+			L2PerDomain:     30 * units.MiB, // shared L3
+			PerCallOverhead: units.Duration(250 * units.Nanosecond),
+			TurboBoost1:     1.30,
+			TurboFlatCores:  4,
+		},
+		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewAries() },
+	})
+
+	// SystemCirrus is the SGI ICE XA: dual 18-core Broadwell, FDR IB.
+	SystemCirrus = register(&System{
+		ID:                Cirrus,
+		Description:       "SGI ICE XA, dual Intel Xeon E5-2695 (Broadwell), FDR InfiniBand",
+		Processor:         "Intel Xeon E5-2695",
+		Microarch:         "Broadwell",
+		ClockGHz:          2.1,
+		CoresPerProcessor: 18,
+		ProcessorsPerNode: 2,
+		ThreadsPerCore:    "1 or 2",
+		VectorBits:        256,
+		MaxNodes:          280,
+		Node: perfmodel.NodeCapability{
+			Name:               "Cirrus",
+			Cores:              36,
+			PeakFlops:          1209.6 * units.GFlopPerSec,
+			ScalarFlopsPerCore: 2 * 2.1 * units.GFlopPerSec,
+			// 4-channel DDR4-2400 per socket: 76.8 GB/s peak,
+			// ~60 GB/s STREAM.
+			Domains:         domains(2, 18, 60*units.GBPerSec, 11*units.GBPerSec, 128*units.GiB),
+			L2PerDomain:     45 * units.MiB,
+			PerCallOverhead: units.Duration(250 * units.Nanosecond),
+			TurboBoost1:     1.35,
+			TurboFlatCores:  4,
+		},
+		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewFDRInfiniBand() },
+	})
+
+	// SystemNGIO is the Fujitsu-built Cascade Lake system with OmniPath.
+	SystemNGIO = register(&System{
+		ID:                NGIO,
+		Description:       "Fujitsu-built system, dual Intel Xeon Platinum 8260M, OmniPath",
+		Processor:         "Intel Xeon Platinum 8260M",
+		Microarch:         "Cascade Lake",
+		ClockGHz:          2.4,
+		CoresPerProcessor: 24,
+		ProcessorsPerNode: 2,
+		ThreadsPerCore:    "1 or 2",
+		VectorBits:        512,
+		MaxNodes:          40,
+		Node: perfmodel.NodeCapability{
+			Name:               "EPCC NGIO",
+			Cores:              48,
+			PeakFlops:          2662.4 * units.GFlopPerSec,
+			ScalarFlopsPerCore: 2 * 2.4 * units.GFlopPerSec,
+			// 6-channel DDR4-2933 per socket: 140.8 GB/s peak,
+			// ~105 GB/s STREAM.
+			Domains:         domains(2, 24, 105*units.GBPerSec, 13.8*units.GBPerSec, 96*units.GiB),
+			L2PerDomain:     units.Bytes(35.75 * float64(units.MiB)),
+			PerCallOverhead: units.Duration(250 * units.Nanosecond),
+			TurboBoost1:     1.45,
+			TurboFlatCores:  4,
+		},
+		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewOmniPath() },
+	})
+
+	// SystemFulhame is the HPE Apollo 70 ThunderX2 cluster with EDR IB.
+	SystemFulhame = register(&System{
+		ID:                Fulhame,
+		Description:       "HPE Apollo 70, dual Marvell ThunderX2, EDR InfiniBand fat tree",
+		Processor:         "Marvell ThunderX2",
+		Microarch:         "ARMv8",
+		ClockGHz:          2.2,
+		CoresPerProcessor: 32,
+		ProcessorsPerNode: 2,
+		ThreadsPerCore:    "1, 2, or 4",
+		VectorBits:        128,
+		MaxNodes:          64,
+		Node: perfmodel.NodeCapability{
+			Name:               "Fulhame",
+			Cores:              64,
+			PeakFlops:          1126.4 * units.GFlopPerSec,
+			ScalarFlopsPerCore: 2 * 2.2 * units.GFlopPerSec,
+			// 8-channel DDR4-2666 per socket: 170.6 GB/s peak;
+			// the paper cites >240 GB/s measured triad per node.
+			Domains:         domains(2, 32, 122*units.GBPerSec, 9.45*units.GBPerSec, 128*units.GiB),
+			L2PerDomain:     32 * units.MiB,
+			PerCallOverhead: units.Duration(250 * units.Nanosecond),
+			TurboBoost1:     1.14,
+			TurboFlatCores:  8,
+		},
+		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewEDRInfiniBand() },
+	})
+)

@@ -1,0 +1,129 @@
+package arch
+
+// Table II of the paper: compilers, compiler flags and libraries used for
+// each benchmark on each system. In the simulation these records are
+// metadata — the semantic effects (vectorisation quality, fast-math
+// behaviour) are carried by the calibration tables — but they are
+// reproduced in full so the harness can regenerate Table II and so the
+// fast-math flag detection is data-driven rather than hard-coded.
+
+import "strings"
+
+// Toolchain is one row of Table II.
+type Toolchain struct {
+	// Benchmark is the application name as Table II groups it.
+	Benchmark string
+	// System the row applies to.
+	System ID
+	// Compiler is the compiler and version string.
+	Compiler string
+	// Flags is the compile flag set.
+	Flags string
+	// Libraries lists MPI and numerical libraries.
+	Libraries []string
+}
+
+// HasFastMath reports whether the flag set enables aggressive FP
+// optimisation (-Kfast on Fujitsu, -ffast-math on GCC/Clang, -Ofast).
+func (t Toolchain) HasFastMath() bool {
+	return strings.Contains(t.Flags, "-Kfast") ||
+		strings.Contains(t.Flags, "-ffast-math") ||
+		strings.Contains(t.Flags, "-Ofast")
+}
+
+// toolchains is Table II verbatim (whitespace normalised).
+var toolchains = []Toolchain{
+	// HPCG
+	{"HPCG", A64FX, "Fujitsu 1.2.24", "-Nnoclang -O3 -Kfast", []string{"Fujitsu MPI"}},
+	{"HPCG", ARCHER, "Intel 17", "-O3", []string{"Cray MPI"}},
+	{"HPCG", Cirrus, "Intel 17", "-O3 -cxx=icpc -qopt-zmm-usage=high", []string{"HPE MPI"}},
+	{"HPCG", NGIO, "Intel 19", "-O3 -cxx=icpc -xCore-AVX512 -qopt-zmm-usage=high", []string{"Intel MPI"}},
+	{"HPCG", Fulhame, "GCC 8.2", "-O3 -ffast-math -funroll-loops -std=c++11 -ffp-contract=fast -mcpu=native", []string{"OpenMPI"}},
+
+	// minikab
+	{"minikab", A64FX, "Fujitsu 1.2.25",
+		"-O3 -Kopenmp -Kfast -KA64FX -KSVE -KARMV8_3_A -Kassume=noshortloop -Kassume=memory_bandwidth -Kassume=notime_saving_compilation",
+		[]string{"Fujitsu MPI"}},
+	{"minikab", NGIO, "Intel 19", "-O3 -warn all", []string{"Intel MPI library"}},
+	{"minikab", Fulhame, "Arm Clang 20", "-O3 -armpl -mcpu=native -fopenmp", []string{"OpenMPI", "ArmPL"}},
+
+	// nekbone
+	{"nekbone", A64FX, "Fujitsu 1.2.24",
+		"-CcdRR8 -Cpp -Fixed -O3 -Kfast -KA64FX -KSVE -KARMV8_3_A -Kassume=noshortloop -Kassume=memory_bandwidth -Kassume=notime_saving_compilation",
+		[]string{"Fujitsu MPI"}},
+	{"nekbone", ARCHER, "GCC 6.3", "-fdefault-real-8 -O3", []string{"Cray MPICH2 library 7.5.5"}},
+	{"nekbone", NGIO, "Intel 19.03", "-fdefault-real-8 -O3", []string{"Intel MPI 19.3"}},
+	{"nekbone", Fulhame, "GNU 8.2", "-fdefault-real-8 -O3", []string{"OpenMPI 4.0.2"}},
+
+	// CASTEP
+	{"CASTEP", A64FX, "Fujitsu 1.2.24", "-O3", []string{"Fujitsu MPI", "Fujitsu SSL2", "FFTW 3.3.3"}},
+	{"CASTEP", ARCHER, "GCC 6.2",
+		"-fconvert=big-endian -fno-realloc-lhs -fopenmp -fPIC -O3 -funroll-loops -ftree-loop-distribution -g -fbacktrace",
+		[]string{"Cray MPICH2 library 7.5.5", "Intel MKL 17.0.0.098", "FFTW 3.3.4.11"}},
+	{"CASTEP", Cirrus, "Intel 17", "-O3 -debug minimal -traceback -xHost",
+		[]string{"SGI MPT 2.16", "Intel MKL 17", "FFTW 3.3.5"}},
+	{"CASTEP", NGIO, "Intel 17", "-O3 -debug minimal -traceback -xHost",
+		[]string{"Intel MPI library 17.4", "Intel MKL 17.4", "FFTW 3.3.3"}},
+	{"CASTEP", Fulhame, "GCC 8.2",
+		"-fconvert=big-endian -fno-realloc-lhs -fopenmp -fPIC -O3 -funroll-loops -ftree-loop-distribution -g -fbacktrace",
+		[]string{"HPE MPT MPI library (v2.20)", "ARM Performance Libraries 19.0.0", "FFTW 3.3.8"}},
+
+	// COSA
+	{"COSA", A64FX, "Fujitsu 1.2.24",
+		"-X9 -Fwide -Cfpp -Cpp -m64 -Ad -O3 -Kfast -KA64FX -KSVE -KARMV8_3_A -Kassume=noshortloop -Kassume=memory_bandwidth -Kassume=notime_saving_compilation",
+		[]string{"Fujitsu MPI", "Fujitsu SSL2", "FFTW 3.3.3"}},
+	{"COSA", ARCHER, "GNU 7.2",
+		"-g -fdefault-double-8 -fdefault-real-8 -fcray-pointer -ftree-vectorize -O3 -ffixed-line-length-132",
+		[]string{"Cray MPI library (v7.5.5)", "Cray LibSci (v16.11.1)"}},
+	{"COSA", Cirrus, "GNU 8.2",
+		"-g -fdefault-double-8 -fdefault-real-8 -fcray-pointer -ftree-vectorize -O3 -ffixed-line-length-132",
+		[]string{"SGI MPT 2.16", "Intel MKL 17.0.2.174"}},
+	{"COSA", NGIO, "Intel 18",
+		"-g -fdefault-double-8 -fdefault-real-8 -fcray-pointer -ftree-vectorize -O3 -ffixed-line-length-132",
+		[]string{"Intel MPI", "Intel MKL 18"}},
+	{"COSA", Fulhame, "GNU 8.2",
+		"-g -fdefault-double-8 -fdefault-real-8 -fcray-pointer -ftree-vectorize -O3 -ffixed-line-length-132",
+		[]string{"HPE MPT MPI library (v2.20)", "ARM Performance Libraries (v19.0.0)"}},
+
+	// OpenSBLI (the paper has no A64FX row in Table II; its A64FX runs
+	// used the OPS C backend with the Fujitsu C compiler at -O3).
+	{"OpenSBLI", ARCHER, "Cray Compiler v8.5.8", "-O3 -hgnu",
+		[]string{"Cray MPICH2 (v7.5.2)", "HDF5 (v1.10.0.1)"}},
+	{"OpenSBLI", Cirrus, "Intel 17.0.2.174", "-O3 -ipo -restrict -fno-alias",
+		[]string{"SGI MPT 2.16", "HDF5 1.10.1"}},
+	{"OpenSBLI", NGIO, "Intel 17.4", "-O3 -ipo -restrict -fno-alias",
+		[]string{"Intel MPI 17.4", "HDF5 1.10.1"}},
+	{"OpenSBLI", Fulhame, "Arm Clang 19.0.0", "-O3 -std=c99 -fPIC -Wall",
+		[]string{"OpenMPI 4.0.0", "HDF5 1.10.4"}},
+}
+
+// Toolchains returns every Table II row in the paper's order.
+func Toolchains() []Toolchain {
+	out := make([]Toolchain, len(toolchains))
+	copy(out, toolchains)
+	return out
+}
+
+// ToolchainFor finds the Table II row for a benchmark/system pair; ok is
+// false when the paper has no such row (e.g. OpenSBLI on A64FX).
+func ToolchainFor(benchmark string, sys ID) (Toolchain, bool) {
+	for _, t := range toolchains {
+		if t.Benchmark == benchmark && t.System == sys {
+			return t, true
+		}
+	}
+	return Toolchain{}, false
+}
+
+// ToolchainBenchmarks lists the benchmark groups of Table II in order.
+func ToolchainBenchmarks() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range toolchains {
+		if !seen[t.Benchmark] {
+			out = append(out, t.Benchmark)
+			seen[t.Benchmark] = true
+		}
+	}
+	return out
+}

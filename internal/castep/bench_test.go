@@ -1,0 +1,52 @@
+package castep
+
+import (
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// BenchmarkHamiltonianApply measures the real FFT-based H application.
+func BenchmarkHamiltonianApply(b *testing.B) {
+	n := 16
+	v := make([]float64, n*n*n)
+	for i := range v {
+		v[i] = float64(i%7) * 0.1
+	}
+	h, err := NewPlaneWaveHamiltonian(n, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	psi := make([]complex128, n*n*n)
+	out := make([]complex128, n*n*n)
+	for i := range psi {
+		psi[i] = complex(float64(i%5), float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Apply(psi, out)
+	}
+}
+
+// BenchmarkLowestStates measures the real eigensolver.
+func BenchmarkLowestStates(b *testing.B) {
+	h, err := NewPlaneWaveHamiltonian(8, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LowestStates(2, 50, 0.4, 1)
+	}
+}
+
+// BenchmarkMeteredTiN measures the simulator's cost for the metered
+// single-node TiN run.
+func BenchmarkMeteredTiN(b *testing.B) {
+	cfg := Config{System: arch.MustGet(arch.NGIO), Cycles: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package castep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSCFValidation(t *testing.T) {
+	if _, err := NewSCF(1, 1, nil, 0.1, 0.5); err == nil {
+		t.Error("grid 1 should fail")
+	}
+	if _, err := NewSCF(4, 0, nil, 0.1, 0.5); err == nil {
+		t.Error("0 bands should fail")
+	}
+	if _, err := NewSCF(4, 1, nil, 0.1, 0); err == nil {
+		t.Error("zero mixing should fail")
+	}
+	if _, err := NewSCF(4, 1, make([]float64, 3), 0.1, 0.5); err == nil {
+		t.Error("wrong potential length should fail")
+	}
+}
+
+func TestSCFNonInteractingConvergesImmediately(t *testing.T) {
+	// Coupling 0: the potential never changes, so the density settles
+	// as soon as the minimiser does.
+	s, err := NewSCF(6, 2, nil, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, resid := s.Converge(10, 150, 1e-6)
+	if cycles > 3 {
+		t.Errorf("non-interacting SCF took %d cycles (resid %v)", cycles, resid)
+	}
+}
+
+func TestSCFInteractingConverges(t *testing.T) {
+	// A weak local coupling: SCF must still converge, to a density
+	// that is self-consistent with its own potential.
+	n := 6
+	vext := make([]float64, n*n*n)
+	for i := range vext {
+		vext[i] = 0.3 * math.Cos(2*math.Pi*float64(i%n)/float64(n))
+	}
+	s, err := NewSCF(n, 2, vext, 0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, resid := s.Converge(30, 150, 1e-5)
+	if resid >= 1e-5 {
+		t.Fatalf("SCF did not converge: resid %v after %d cycles", resid, cycles)
+	}
+	// Self-consistency check: V == VExt + coupling·ρ.
+	for i := range s.V {
+		want := s.VExt[i] + 0.5*s.Density[i]
+		if math.Abs(s.V[i]-want) > 1e-12 {
+			t.Fatalf("potential inconsistent at %d: %v vs %v", i, s.V[i], want)
+		}
+	}
+	// Density is non-negative and integrates to the electron count.
+	var total float64
+	for _, d := range s.Density {
+		if d < 0 {
+			t.Fatal("negative density")
+		}
+		total += d
+	}
+	// The mixed density converges to 2 electrons as the residual
+	// vanishes; at tol=1e-5 a small blend remainder survives.
+	if math.Abs(total-2) > 1e-3 {
+		t.Errorf("density integrates to %v, want 2", total)
+	}
+}
+
+func TestSCFDensityFollowsPotentialWell(t *testing.T) {
+	// With an attractive well at the origin, density should peak there
+	// (no interaction so the effect is clean).
+	n := 8
+	vext := make([]float64, n*n*n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				// Deep well at (0,0,0), periodic cosine shape.
+				c := math.Cos(2*math.Pi*float64(i)/float64(n)) +
+					math.Cos(2*math.Pi*float64(j)/float64(n)) +
+					math.Cos(2*math.Pi*float64(k)/float64(n))
+				vext[i+n*(j+n*k)] = -1.5 * c
+			}
+		}
+	}
+	s, err := NewSCF(n, 1, vext, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Converge(5, 250, 1e-7)
+	// Density at the well bottom (origin) ≫ at the repulsive corner.
+	origin := s.Density[0]
+	corner := s.Density[n/2+n*(n/2+n*(n/2))]
+	if origin < 3*corner {
+		t.Errorf("density not localised in the well: origin %v vs corner %v", origin, corner)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eighth-block characters used for sparklines.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// RenderChart renders a figure-kind artifact as aligned sparklines — one
+// line per series (row), with the series values scaled to the artifact's
+// global range. Cells without a value render as a gap. Table-kind
+// artifacts fall back to the plain render.
+func (a *Artifact) RenderChart() string {
+	if a.Kind != Figure {
+		return a.Render()
+	}
+	// Global range over numeric cells of the charted column set: when a
+	// figure has a single value column (runtime-style figures), chart
+	// that; otherwise chart all columns (core-sweep figures).
+	cols := a.chartColumns()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range a.Cells {
+		for _, ci := range cols {
+			if ci >= len(row) {
+				continue
+			}
+			c := row[ci]
+			if c.Text != "" || math.IsNaN(c.Value) {
+				continue
+			}
+			lo = math.Min(lo, c.Value)
+			hi = math.Max(hi, c.Value)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(a.ID), a.Title)
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no numeric data)\n")
+		return b.String()
+	}
+	width := 0
+	for _, l := range a.RowLabels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, label := range a.RowLabels {
+		fmt.Fprintf(&b, "%-*s  ", width, label)
+		var last float64 = math.NaN()
+		for _, ci := range cols {
+			if ci >= len(a.Cells[i]) {
+				break
+			}
+			c := a.Cells[i][ci]
+			if c.Text != "" || math.IsNaN(c.Value) {
+				b.WriteRune(' ')
+				continue
+			}
+			b.WriteRune(spark(c.Value, lo, hi))
+			last = c.Value
+		}
+		if !math.IsNaN(last) {
+			fmt.Fprintf(&b, "  %s", Cell{Value: last, Format: "%.3g"}.format())
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "scale: %.3g … %.3g\n", lo, hi)
+	return b.String()
+}
+
+// chartColumns picks the columns to chart: every column whose cells are
+// mostly numeric.
+func (a *Artifact) chartColumns() []int {
+	var out []int
+	for ci := range a.Columns {
+		numeric := 0
+		for _, row := range a.Cells {
+			if ci < len(row) && row[ci].Text == "" && !math.IsNaN(row[ci].Value) {
+				numeric++
+			}
+		}
+		if numeric > 0 {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// spark maps a value into the block-character ramp.
+func spark(v, lo, hi float64) rune {
+	if hi <= lo {
+		return sparkLevels[len(sparkLevels)/2]
+	}
+	f := (v - lo) / (hi - lo)
+	idx := int(f * float64(len(sparkLevels)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sparkLevels) {
+		idx = len(sparkLevels) - 1
+	}
+	return sparkLevels[idx]
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderChartFigure(t *testing.T) {
+	a := &Artifact{
+		ID: "figx", Title: "Chart", Kind: Figure,
+		Columns:   []string{"1", "2", "4"},
+		RowLabels: []string{"sysA", "sysB"},
+		Cells: [][]Cell{
+			{{Value: 1}, {Value: 2}, {Value: 4}},
+			{{Value: 2}, {Value: 3}, {Value: math.NaN()}},
+		},
+	}
+	out := a.RenderChart()
+	if !strings.Contains(out, "FIGX") || !strings.Contains(out, "sysA") {
+		t.Errorf("chart missing labels: %s", out)
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("chart missing sparkline glyphs: %s", out)
+	}
+	if !strings.Contains(out, "scale: 1 … 4") {
+		t.Errorf("chart missing scale line: %s", out)
+	}
+}
+
+func TestRenderChartTableFallsBack(t *testing.T) {
+	a := &Artifact{
+		ID: "t", Title: "T", Kind: Table,
+		Columns: []string{"a"}, RowLabels: []string{"r"},
+		Cells: [][]Cell{{{Value: 1}}},
+	}
+	if strings.ContainsAny(a.RenderChart(), "▁▂▃▄▅▆▇█") {
+		t.Error("table render should not produce sparklines")
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	a := &Artifact{
+		ID: "f", Title: "F", Kind: Figure,
+		Columns: []string{"a"}, RowLabels: []string{"r"},
+		Cells: [][]Cell{{{Text: "x"}}},
+	}
+	if !strings.Contains(a.RenderChart(), "no numeric data") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestSparkClamping(t *testing.T) {
+	if spark(5, 0, 10) != sparkLevels[3] {
+		t.Errorf("midpoint spark = %c", spark(5, 0, 10))
+	}
+	if spark(0, 0, 10) != sparkLevels[0] || spark(10, 0, 10) != sparkLevels[7] {
+		t.Error("extremes wrong")
+	}
+	// Degenerate range.
+	if spark(5, 5, 5) != sparkLevels[4] {
+		t.Error("flat range should render mid-level")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation is registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "fig1", "fig2",
+		"table6", "fig3", "table7", "table8", "fig4", "table9", "fig5", "table10",
+	}
+	all := List()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("List()[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		e, err := Get(id)
+		if err != nil || e.ID != id {
+			t.Errorf("Get(%s): %v", id, err)
+		}
+		if e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("%s incomplete: %+v", id, e)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("table99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	if _, err := Get("Table3"); err != nil {
+		t.Errorf("Get should be case-insensitive: %v", err)
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	c := Cell{Value: 38.26, Paper: 38.26, Format: "%.2f"}
+	if got := c.format(); got != "38.26" {
+		t.Errorf("format = %q", got)
+	}
+	if got := c.formatWithPaper(); !strings.Contains(got, "paper 38.26") {
+		t.Errorf("formatWithPaper = %q", got)
+	}
+	if got := (Cell{Text: "abc"}).format(); got != "abc" {
+		t.Errorf("text cell = %q", got)
+	}
+	if got := (Cell{Value: math.NaN()}).format(); got != "—" {
+		t.Errorf("NaN cell = %q", got)
+	}
+	// No paper reference: comparison view falls back to plain.
+	c = Cell{Value: 1.5, Paper: math.NaN()}
+	if got := c.formatWithPaper(); got != "1.50" {
+		t.Errorf("no-ref comparison = %q", got)
+	}
+}
+
+func TestStaticTablesRun(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table8"} {
+		e, _ := Get(id)
+		a, err := e.Run(Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(a.RowLabels) == 0 || len(a.Cells) != len(a.RowLabels) {
+			t.Errorf("%s artifact malformed", id)
+		}
+		out := a.Render()
+		if !strings.Contains(out, strings.ToUpper(id)) {
+			t.Errorf("%s render missing header: %s", id, out[:60])
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	e, _ := Get("table1")
+	a, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, needle := range []string{"A64FX", "512bit", "3379", "Fulhame", "ThunderX2"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table1 missing %q", needle)
+		}
+	}
+}
+
+func TestTable3QuickWithinTolerance(t *testing.T) {
+	e, _ := Get("table3")
+	a, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, n := a.MaxAbsDeviation()
+	if n < 10 {
+		t.Fatalf("table3 has only %d referenced cells", n)
+	}
+	// Allow extra slack for the %-of-peak column, which the paper
+	// rounds to one decimal.
+	if worst > 0.25 {
+		t.Errorf("table3 worst deviation %.1f%% exceeds tolerance", worst*100)
+	}
+	cmp := a.RenderComparison()
+	if !strings.Contains(cmp, "paper") {
+		t.Error("comparison render missing paper references")
+	}
+}
+
+func TestTable8ExactMatch(t *testing.T) {
+	e, _ := Get("table8")
+	a, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst, _ := a.MaxAbsDeviation(); worst != 0 {
+		t.Errorf("table8 should match exactly, worst %.2f%%", worst*100)
+	}
+}
+
+func TestFig4ShapesQuick(t *testing.T) {
+	e, _ := Get("fig4")
+	a, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A64FX row: first cell is the OOM marker.
+	var a64Row, fulRow []Cell
+	for i, label := range a.RowLabels {
+		switch label {
+		case "A64FX":
+			a64Row = a.Cells[i]
+		case "Fulhame":
+			fulRow = a.Cells[i]
+		}
+	}
+	if a64Row == nil || fulRow == nil {
+		t.Fatal("missing rows")
+	}
+	if a64Row[0].Text != "(OOM)" {
+		t.Errorf("A64FX 1-node cell = %+v, want OOM", a64Row[0])
+	}
+	// Crossover at 16 nodes (last column).
+	last := len(a.Columns) - 1
+	if !(fulRow[last].Value < a64Row[last].Value) {
+		t.Errorf("Fulhame (%.2f) should beat A64FX (%.2f) at 16 nodes",
+			fulRow[last].Value, a64Row[last].Value)
+	}
+	// A64FX fastest at 2 nodes (column index 1).
+	for i, label := range a.RowLabels {
+		if label == "A64FX" {
+			continue
+		}
+		if a.Cells[i][1].Value <= a64Row[1].Value {
+			t.Errorf("%s beat A64FX at 2 nodes", label)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	a := &Artifact{
+		ID: "t", Title: "T", Kind: Table,
+		Columns:   []string{"col"},
+		RowLabels: []string{"short", "a-much-longer-label"},
+		Cells:     [][]Cell{{txt("x")}, {txt("y")}},
+		Notes:     []string{"a note"},
+	}
+	out := a.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, 2 rows, note
+		t.Fatalf("render lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[4], "note:") {
+		t.Errorf("note line = %q", lines[4])
+	}
+}
+
+func TestMaxAbsDeviationIgnoresUnreferenced(t *testing.T) {
+	a := &Artifact{
+		Cells: [][]Cell{{
+			{Value: 10, Paper: math.NaN()},
+			{Text: "x"},
+			{Value: 11, Paper: 10},
+		}},
+	}
+	worst, n := a.MaxAbsDeviation()
+	if n != 1 {
+		t.Errorf("refCells = %d, want 1", n)
+	}
+	if math.Abs(worst-0.1) > 1e-12 {
+		t.Errorf("worst = %v, want 0.1", worst)
+	}
+}

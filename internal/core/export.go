@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// jsonCell is the export form of a Cell.
+type jsonCell struct {
+	Value *float64 `json:"value,omitempty"`
+	Paper *float64 `json:"paper,omitempty"`
+	Text  string   `json:"text,omitempty"`
+}
+
+// jsonArtifact is the export form of an Artifact.
+type jsonArtifact struct {
+	ID        string       `json:"id"`
+	Title     string       `json:"title"`
+	Kind      Kind         `json:"kind"`
+	Columns   []string     `json:"columns"`
+	RowLabels []string     `json:"rowLabels"`
+	Cells     [][]jsonCell `json:"cells"`
+	Notes     []string     `json:"notes,omitempty"`
+}
+
+// fptr returns a pointer to v, or nil for NaN (JSON has no NaN).
+func fptr(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// WriteJSON serialises the artifact as indented JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	out := jsonArtifact{
+		ID: a.ID, Title: a.Title, Kind: a.Kind,
+		Columns: a.Columns, RowLabels: a.RowLabels, Notes: a.Notes,
+	}
+	for _, row := range a.Cells {
+		var jr []jsonCell
+		for _, c := range row {
+			jc := jsonCell{Text: c.Text}
+			if c.Text == "" {
+				jc.Value = fptr(c.Value)
+				jc.Paper = fptr(c.Paper)
+			}
+			jr = append(jr, jc)
+		}
+		out.Cells = append(out.Cells, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV serialises the artifact as CSV: a header row, then one row per
+// row label. Cells with paper references expand into value and paper
+// columns.
+func (a *Artifact) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	hasPaper := false
+	for _, row := range a.Cells {
+		for _, c := range row {
+			if c.Text == "" && !math.IsNaN(c.Paper) {
+				hasPaper = true
+			}
+		}
+	}
+	header := []string{"row"}
+	for _, col := range a.Columns {
+		header = append(header, col)
+		if hasPaper {
+			header = append(header, col+" (paper)")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, label := range a.RowLabels {
+		rec := []string{label}
+		for _, c := range a.Cells[i] {
+			rec = append(rec, csvValue(c, false))
+			if hasPaper {
+				rec = append(rec, csvValue(c, true))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvValue formats one cell for CSV output.
+func csvValue(c Cell, paper bool) string {
+	if c.Text != "" {
+		if paper {
+			return ""
+		}
+		return c.Text
+	}
+	v := c.Value
+	if paper {
+		v = c.Paper
+	}
+	if math.IsNaN(v) {
+		return ""
+	}
+	f := c.Format
+	if f == "" {
+		f = "%.4g"
+	}
+	return fmt.Sprintf(f, v)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		ID: "t", Title: "Sample", Kind: Table,
+		Columns:   []string{"a", "b"},
+		RowLabels: []string{"r1", "r2"},
+		Cells: [][]Cell{
+			{{Value: 1.5, Paper: 1.4, Format: "%.2f"}, {Text: "x"}},
+			{{Value: 2.5, Paper: math.NaN(), Format: "%.2f"}, {Value: math.NaN(), Paper: math.NaN()}},
+		},
+		Notes: []string{"n1"},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleArtifact().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded["id"] != "t" || decoded["title"] != "Sample" {
+		t.Errorf("metadata wrong: %v", decoded)
+	}
+	cells := decoded["cells"].([]any)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %v", cells)
+	}
+	// NaN values must be omitted, not emitted (JSON has no NaN).
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("JSON contains NaN")
+	}
+	// First cell carries both value and paper.
+	first := cells[0].([]any)[0].(map[string]any)
+	if first["value"].(float64) != 1.5 || first["paper"].(float64) != 1.4 {
+		t.Errorf("first cell = %v", first)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleArtifact().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	// Header: row, a, a (paper), b, b (paper).
+	if len(records) != 3 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][0] != "row" || records[0][1] != "a" || records[0][2] != "a (paper)" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "1.50" || records[1][2] != "1.40" {
+		t.Errorf("row1 = %v", records[1])
+	}
+	// Text cell has empty paper column; NaN cells are empty.
+	if records[1][3] != "x" || records[1][4] != "" {
+		t.Errorf("text cell = %v", records[1])
+	}
+	if records[2][3] != "" {
+		t.Errorf("NaN cell should be empty: %v", records[2])
+	}
+}
+
+func TestWriteCSVNoPaperColumns(t *testing.T) {
+	a := &Artifact{
+		Columns:   []string{"a"},
+		RowLabels: []string{"r"},
+		Cells:     [][]Cell{{{Value: 3, Paper: math.NaN()}}},
+	}
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, _ := csv.NewReader(&buf).ReadAll()
+	if len(records[0]) != 2 {
+		t.Errorf("no-reference artifact should not grow paper columns: %v", records[0])
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) < 3 {
+		t.Fatalf("expected ≥3 extensions, got %d", len(exts))
+	}
+	ids := map[string]bool{}
+	for _, e := range exts {
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("extension %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"ext-network", "ext-noise", "ext-stencil"} {
+		if !ids[want] {
+			t.Errorf("missing extension %s", want)
+		}
+	}
+	if _, err := GetExtension("ext-network"); err != nil {
+		t.Error(err)
+	}
+	if _, err := GetExtension("nope"); err == nil {
+		t.Error("unknown extension should fail")
+	}
+	// Extensions do not leak into the paper registry.
+	if _, err := Get("ext-network"); err == nil {
+		t.Error("extension should not be in the paper registry")
+	}
+}
+
+func TestExtNetworkRuns(t *testing.T) {
+	e, err := GetExtension("ext-network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.RowLabels) != 5 {
+		t.Fatalf("rows = %v", art.RowLabels)
+	}
+	// All fabrics within a few percent of TofuD (HPCG is latency-light).
+	for i, label := range art.RowLabels {
+		ratio := art.Cells[i][1].Value
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("%s ratio = %v, expected ≈1", label, ratio)
+		}
+	}
+}
+
+func TestExtStencilRuns(t *testing.T) {
+	e, err := GetExtension("ext-stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The good-stencil scenario must be substantially faster than
+	// measured.
+	if ratio := art.Cells[1][1].Value; ratio > 0.6 {
+		t.Errorf("good-stencil ratio = %v, expected large speedup", ratio)
+	}
+}
+
+func TestExtFugakuRuns(t *testing.T) {
+	e, err := GetExtension("ext-fugaku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(art.RowLabels) - 1
+	if art.RowLabels[last] != "158976 nodes" {
+		t.Fatalf("rows = %v", art.RowLabels)
+	}
+	pf := art.Cells[last][1].Value
+	// The unoptimised projection lands in the single-digit PFLOP/s
+	// range — below Fugaku's optimised 16 PF but within 3× of it.
+	if pf < 4 || pf > 16 {
+		t.Errorf("projected Fugaku HPCG = %.2f PF/s, implausible", pf)
+	}
+	// Efficiency stays near 1: HPCG's collectives are cheap even at
+	// full scale under the TofuD model.
+	if eff := art.Cells[last][2].Value; eff < 0.95 {
+		t.Errorf("projected efficiency %v suspiciously low", eff)
+	}
+}
+
+func TestExtNoiseRuns(t *testing.T) {
+	e, err := GetExtension("ext-noise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.RowLabels) != 4 {
+		t.Fatalf("rows = %v", art.RowLabels)
+	}
+	// PE decreases (weakly) as noise grows; the extreme level is
+	// clearly below the noise-free one.
+	first := art.Cells[0][0].Value
+	lastV := art.Cells[len(art.Cells)-1][0].Value
+	if lastV >= first {
+		t.Errorf("PE should fall with noise: %v → %v", first, lastV)
+	}
+}

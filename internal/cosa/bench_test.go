@@ -1,0 +1,58 @@
+package cosa
+
+import (
+	"math"
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// BenchmarkHBApplyD measures the real time-spectral operator.
+func BenchmarkHBApplyD(b *testing.B) {
+	hb, err := NewHarmonicBalance(4, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := hb.Instances()
+	u := make([]float64, m)
+	du := make([]float64, m)
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.ApplyD(u, du)
+	}
+}
+
+// BenchmarkHBSolverStep measures one pseudo-time step of the real block
+// solver.
+func BenchmarkHBSolverStep(b *testing.B) {
+	hb, _ := NewHarmonicBalance(2, 1)
+	s, err := NewHBSolver(hb, 4, 16, 16, 0.5, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetForcing(
+		func(x, y, t float64) float64 { return math.Sin(x + y) },
+		func(x, y, t float64) float64 { return math.Cos(x + y) },
+		func(x, y, t float64) float64 { return math.Cos(x + y) },
+		func(x, y, t float64) float64 { return -math.Sin(x + y) },
+		func(x, y, t float64) float64 { return -math.Sin(x + y) },
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(0.01)
+	}
+}
+
+// BenchmarkMeteredScaling measures the simulator's cost for a 2-node
+// metered COSA run.
+func BenchmarkMeteredScaling(b *testing.B) {
+	cfg := Config{System: arch.MustGet(arch.A64FX), Nodes: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package cosa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"a64fxbench/internal/arch"
+)
+
+// --- Harmonic-balance operator ---
+
+func TestHBValidation(t *testing.T) {
+	if _, err := NewHarmonicBalance(0, 1); err == nil {
+		t.Error("0 harmonics should fail")
+	}
+	if _, err := NewHarmonicBalance(2, -1); err == nil {
+		t.Error("negative frequency should fail")
+	}
+	hb, err := NewHarmonicBalance(4, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Instances() != 9 {
+		t.Errorf("instances = %d, want 9", hb.Instances())
+	}
+}
+
+func TestHBDerivativeExactOnHarmonics(t *testing.T) {
+	// The spectral derivative is exact for sin(kωt), cos(kωt), k ≤ N.
+	omega := 3.0
+	hb, err := NewHarmonicBalance(3, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hb.Instances()
+	for k := 1; k <= hb.N; k++ {
+		u := make([]float64, m)
+		want := make([]float64, m)
+		for i := 0; i < m; i++ {
+			ti := hb.TimeSample(i)
+			u[i] = math.Sin(float64(k) * omega * ti)
+			want[i] = float64(k) * omega * math.Cos(float64(k)*omega*ti)
+		}
+		du := make([]float64, m)
+		hb.ApplyD(u, du)
+		for i := range du {
+			if math.Abs(du[i]-want[i]) > 1e-9 {
+				t.Fatalf("harmonic %d: D u mismatch at %d: %v vs %v", k, i, du[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHBDerivativeOfConstantIsZero(t *testing.T) {
+	hb, _ := NewHarmonicBalance(4, 1)
+	m := hb.Instances()
+	u := make([]float64, m)
+	for i := range u {
+		u[i] = 42
+	}
+	du := make([]float64, m)
+	hb.ApplyD(u, du)
+	for _, v := range du {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("D const = %v, want 0", v)
+		}
+	}
+}
+
+// Property: the HB derivative is a linear operator.
+func TestHBLinearityProperty(t *testing.T) {
+	hb, _ := NewHarmonicBalance(2, 1.7)
+	m := hb.Instances()
+	f := func(raw [5]int8, scale int8) bool {
+		u := make([]float64, m)
+		v := make([]float64, m)
+		for i := 0; i < m; i++ {
+			u[i] = float64(raw[i%5]) / 3
+			v[i] = float64(raw[(i+2)%5]) / 7
+		}
+		a := float64(scale) / 16
+		sum := make([]float64, m)
+		for i := range sum {
+			sum[i] = u[i] + a*v[i]
+		}
+		du, dv, dsum := make([]float64, m), make([]float64, m), make([]float64, m)
+		hb.ApplyD(u, du)
+		hb.ApplyD(v, dv)
+		hb.ApplyD(sum, dsum)
+		for i := range dsum {
+			if math.Abs(dsum[i]-(du[i]+a*dv[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Block HB solver (validation-scale COSA) ---
+
+func TestHBSolverManufacturedSolution(t *testing.T) {
+	omega := 1.0
+	hb, err := NewHarmonicBalance(2, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact solution u = sin(x)·cos(ωt) + 0.5·cos(y)·sin(ωt).
+	uE := func(x, y, tt float64) float64 {
+		return math.Sin(x)*math.Cos(omega*tt) + 0.5*math.Cos(y)*math.Sin(omega*tt)
+	}
+	ux := func(x, y, tt float64) float64 { return math.Cos(x) * math.Cos(omega*tt) }
+	uy := func(x, y, tt float64) float64 { return -0.5 * math.Sin(y) * math.Sin(omega*tt) }
+	uxx := func(x, y, tt float64) float64 { return -math.Sin(x) * math.Cos(omega*tt) }
+	uyy := func(x, y, tt float64) float64 { return -0.5 * math.Cos(y) * math.Sin(omega*tt) }
+
+	s, err := NewHBSolver(hb, 4, 16, 32, 0.7, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetForcing(uE, ux, uy, uxx, uyy)
+	iters, res := s.Solve(0.02, 1e-8, 20000)
+	if res > 1e-8 {
+		t.Fatalf("did not converge: residual %v after %d iters", res, iters)
+	}
+	// The converged discrete solution approximates the exact one to
+	// second order in the grid spacing.
+	if e := s.MaxErrorAgainst(uE); e > 0.05 {
+		t.Errorf("solution error %v too large", e)
+	}
+}
+
+func TestHBSolverResidualDecreases(t *testing.T) {
+	hb, _ := NewHarmonicBalance(1, 2.0)
+	s, err := NewHBSolver(hb, 2, 8, 8, 0.5, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero forcing, zero initial field.
+	s.SetForcing(
+		func(x, y, tt float64) float64 { return math.Sin(x + y) },
+		func(x, y, tt float64) float64 { return math.Cos(x + y) },
+		func(x, y, tt float64) float64 { return math.Cos(x + y) },
+		func(x, y, tt float64) float64 { return -math.Sin(x + y) },
+		func(x, y, tt float64) float64 { return -math.Sin(x + y) },
+	)
+	r0 := s.Step(0.02)
+	for i := 0; i < 400; i++ {
+		s.Step(0.02)
+	}
+	r1 := s.Step(0.02)
+	if r1 >= r0*0.5 {
+		t.Errorf("residual barely fell: %v → %v", r0, r1)
+	}
+}
+
+func TestHBSolverValidation(t *testing.T) {
+	hb, _ := NewHarmonicBalance(1, 1)
+	if _, err := NewHBSolver(hb, 0, 8, 8, 1, 1, 1); err == nil {
+		t.Error("zero blocks should fail")
+	}
+	if _, err := NewHBSolver(hb, 1, 8, 8, 1, 1, 0); err == nil {
+		t.Error("zero diffusivity should fail")
+	}
+}
+
+// --- Metered benchmark ---
+
+func TestPaperTestCase(t *testing.T) {
+	tc := PaperTestCase()
+	if tc.Harmonics != 4 || tc.Blocks != 800 || tc.Cells != 3690218 {
+		t.Errorf("test case drifted: %+v", tc)
+	}
+	if tc.Instances() != 9 {
+		t.Errorf("instances = %d", tc.Instances())
+	}
+	if d := tc.CellsPerBlock(); d < 4000 || d > 5000 {
+		t.Errorf("cells/block = %v", d)
+	}
+}
+
+func TestA64FXNeedsTwoNodes(t *testing.T) {
+	// §VII.3: the case does not fit one 32 GB A64FX node.
+	sys := arch.MustGet(arch.A64FX)
+	if _, err := Run(Config{System: sys, Nodes: 1}); err == nil {
+		t.Error("60 GB case should not fit one A64FX node")
+	}
+	if _, err := Run(Config{System: sys, Nodes: 2}); err != nil {
+		t.Errorf("2 nodes should fit: %v", err)
+	}
+	// All other systems fit on a single node.
+	for _, id := range []arch.ID{arch.ARCHER, arch.Cirrus, arch.NGIO, arch.Fulhame} {
+		if _, err := Run(Config{System: arch.MustGet(id), Nodes: 1}); err != nil {
+			t.Errorf("%s single node should fit: %v", id, err)
+		}
+	}
+}
+
+func TestFigure4A64FXFastestUntil16(t *testing.T) {
+	// A64FX outperforms every other system at 2–8 nodes.
+	for _, nodes := range []int{2, 4, 8} {
+		a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []arch.ID{arch.ARCHER, arch.Cirrus, arch.NGIO, arch.Fulhame} {
+			o, err := Run(Config{System: arch.MustGet(id), Nodes: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Seconds <= a.Seconds {
+				t.Errorf("%d nodes: %s (%.2fs) beat A64FX (%.2fs)", nodes, id, o.Seconds, a.Seconds)
+			}
+		}
+	}
+}
+
+func TestFigure4FulhameOvertakesAt16(t *testing.T) {
+	// The paper's crossover: at 16 nodes Fulhame wins because its 1024
+	// ranks leave every active rank exactly one block, while the
+	// A64FX's 768 ranks give 32 of them two.
+	a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Run(Config{System: arch.MustGet(arch.Fulhame), Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seconds >= a.Seconds {
+		t.Errorf("Fulhame (%.2fs) should overtake A64FX (%.2fs) at 16 nodes", f.Seconds, a.Seconds)
+	}
+	if a.MaxBlocksPerProc != 2 {
+		t.Errorf("A64FX max blocks/proc = %d, want 2", a.MaxBlocksPerProc)
+	}
+	if f.MaxBlocksPerProc != 1 {
+		t.Errorf("Fulhame max blocks/proc = %d, want 1", f.MaxBlocksPerProc)
+	}
+	// Only 800 of Fulhame's 1024 ranks work (13 of 16 nodes).
+	if f.ActiveProcs != 800 {
+		t.Errorf("Fulhame active procs = %d, want 800", f.ActiveProcs)
+	}
+}
+
+func TestStrongScalingMonotone(t *testing.T) {
+	for _, id := range arch.IDs() {
+		sys := arch.MustGet(id)
+		start := 1
+		if id == arch.A64FX {
+			start = 2
+		}
+		var prev float64 = math.Inf(1)
+		for nodes := start; nodes <= 16; nodes *= 2 {
+			r, err := Run(Config{System: sys, Nodes: nodes})
+			if err != nil {
+				t.Fatalf("%s %d nodes: %v", id, nodes, err)
+			}
+			if r.Seconds >= prev {
+				t.Errorf("%s: no speedup at %d nodes (%.2fs vs %.2fs)", id, nodes, r.Seconds, prev)
+			}
+			prev = r.Seconds
+		}
+	}
+}
+
+func TestTableVIIIProcessesPerNode(t *testing.T) {
+	want := map[arch.ID]int{
+		arch.A64FX: 48, arch.ARCHER: 24, arch.Cirrus: 36,
+		arch.Fulhame: 64, arch.NGIO: 48,
+	}
+	got := ProcessesPerNode()
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("%s: %d processes/node, want %d", id, got[id], w)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing system should fail")
+	}
+}

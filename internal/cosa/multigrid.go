@@ -1,0 +1,171 @@
+package cosa
+
+import (
+	"fmt"
+	"math"
+)
+
+// MGSolver accelerates the harmonic-balance solver with a geometric
+// multigrid hierarchy in space — COSA's actual integration scheme
+// (§VII.A: "finite volume space-discretisation and multigrid (MG)
+// integration"). Each level is an HBSolver on a grid coarsened 2× per
+// direction; the cycle smooths with pseudo-time steps, restricts the
+// residual by averaging, and prolongs corrections by injection.
+type MGSolver struct {
+	// Levels, finest first.
+	Levels []*HBSolver
+	// Tau is the pseudo-time step used for smoothing at every level.
+	Tau float64
+	// PreSmooth and PostSmooth are the smoothing step counts.
+	PreSmooth, PostSmooth int
+	// CoarseSteps is the iteration count at the coarsest level.
+	CoarseSteps int
+	// Damping scales the prolongated coarse correction — under-
+	// relaxation keeps the advective modes of the correction scheme
+	// stable (standard practice for convection-dominated multigrid).
+	Damping float64
+}
+
+// NewMGSolver builds a hierarchy of `levels` grids under the given fine
+// solver constructor parameters. Block count and ny must be divisible by
+// 2^(levels-1); nx is per block.
+func NewMGSolver(hb *HarmonicBalance, blocks, nx, ny int, ax, ay, nu float64, levels int, tau float64) (*MGSolver, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("cosa: need ≥1 level, got %d", levels)
+	}
+	div := 1 << uint(levels-1)
+	if nx%div != 0 || ny%div != 0 {
+		return nil, fmt.Errorf("cosa: grid %dx%d not divisible by %d", nx, ny, div)
+	}
+	m := &MGSolver{Tau: tau, PreSmooth: 4, PostSmooth: 4, CoarseSteps: 40, Damping: 0.8}
+	for l := 0; l < levels; l++ {
+		s, err := NewHBSolver(hb, blocks, nx>>uint(l), ny>>uint(l), ax, ay, nu)
+		if err != nil {
+			return nil, err
+		}
+		m.Levels = append(m.Levels, s)
+	}
+	return m, nil
+}
+
+// Fine returns the finest-level solver (whose F and Blocks the caller
+// initialises and reads).
+func (m *MGSolver) Fine() *HBSolver { return m.Levels[0] }
+
+// restrictTo transfers the fine level's residual to the coarse level's
+// forcing by 2×2 cell averaging, and zeroes the coarse field.
+func (m *MGSolver) restrictTo(l int) {
+	fine, coarse := m.Levels[l], m.Levels[l+1]
+	// Gather the fine residual per (block, instance, cell).
+	nbx := fine.Blocks[0].NX
+	resid := make([][][]float64, len(fine.Blocks))
+	for b := range resid {
+		resid[b] = make([][]float64, fine.HB.Instances())
+		for k := range resid[b] {
+			resid[b][k] = make([]float64, nbx*fine.Blocks[0].NY)
+		}
+	}
+	fine.Residual(func(b, k, cell int, r float64) {
+		// cell is a halo-indexed offset; convert to interior coords.
+		stride := nbx + 2
+		j := cell/stride - 1
+		i := cell%stride - 1
+		resid[b][k][i+nbx*j] = r
+	})
+	cnx := coarse.Blocks[0].NX
+	for b, blk := range coarse.Blocks {
+		for k := range blk.U {
+			for j := 0; j < blk.NY; j++ {
+				for i := 0; i < blk.NX; i++ {
+					sum := resid[b][k][(2*i)+nbx*(2*j)] +
+						resid[b][k][(2*i+1)+nbx*(2*j)] +
+						resid[b][k][(2*i)+nbx*(2*j+1)] +
+						resid[b][k][(2*i+1)+nbx*(2*j+1)]
+					coarse.F[b][k][i+cnx*j] = sum / 4
+				}
+			}
+			for idx := range blk.U[k] {
+				blk.U[k][idx] = 0
+			}
+		}
+	}
+}
+
+// prolongFrom adds the coarse correction to the fine field with bilinear
+// (cell-centred) interpolation: each fine child blends its parent with
+// the diagonal neighbours at weights 9/16, 3/16, 3/16, 1/16. Periodic
+// halos supply the neighbours across block and domain boundaries.
+func (m *MGSolver) prolongFrom(l int) {
+	fine, coarse := m.Levels[l], m.Levels[l+1]
+	coarse.exchangeHalos()
+	for b, cblk := range coarse.Blocks {
+		fblk := fine.Blocks[b]
+		for k := range cblk.U {
+			cu := cblk.U[k]
+			for j := 0; j < cblk.NY; j++ {
+				for i := 0; i < cblk.NX; i++ {
+					for dj := 0; dj < 2; dj++ {
+						for di := 0; di < 2; di++ {
+							// Nearest neighbour offset per quadrant.
+							ni := i + 2*di - 1
+							nj := j + 2*dj - 1
+							v := 9*cu[cblk.idx(i, j)] +
+								3*cu[cblk.idx(ni, j)] +
+								3*cu[cblk.idx(i, nj)] +
+								1*cu[cblk.idx(ni, nj)]
+							fblk.U[k][fblk.idx(2*i+di, 2*j+dj)] += m.Damping * v / 16
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cycle performs one V-cycle and returns the fine-level residual
+// max-norm measured before the cycle.
+func (m *MGSolver) Cycle() float64 {
+	r0 := m.Levels[0].Step(m.Tau) // first pre-smooth measures residual
+	m.vcycle(0)
+	return r0
+}
+
+func (m *MGSolver) vcycle(l int) {
+	s := m.Levels[l]
+	if l == len(m.Levels)-1 {
+		for i := 0; i < m.CoarseSteps; i++ {
+			s.Step(m.Tau)
+		}
+		return
+	}
+	for i := 0; i < m.PreSmooth; i++ {
+		s.Step(m.Tau)
+	}
+	m.restrictTo(l)
+	m.vcycle(l + 1)
+	m.prolongFrom(l)
+	for i := 0; i < m.PostSmooth; i++ {
+		s.Step(m.Tau)
+	}
+}
+
+// Solve cycles until the fine residual max-norm falls below tol or
+// maxCycles is reached; returns cycles used and the final residual.
+func (m *MGSolver) Solve(tol float64, maxCycles int) (int, float64) {
+	for c := 1; c <= maxCycles; c++ {
+		m.Cycle()
+		if r := m.Levels[0].Residual(nil); r < tol {
+			return c, r
+		}
+	}
+	return maxCycles, m.Levels[0].Residual(nil)
+}
+
+// ResidualNorm reports the fine level's current residual max-norm.
+func (m *MGSolver) ResidualNorm() float64 {
+	r := m.Levels[0].Residual(nil)
+	if math.IsNaN(r) {
+		return math.Inf(1)
+	}
+	return r
+}

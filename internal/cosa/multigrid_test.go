@@ -1,0 +1,87 @@
+package cosa
+
+import (
+	"math"
+	"testing"
+)
+
+// mgProblem builds a fine-level manufactured problem on the given MG
+// hierarchy and returns the exact solution for error checks.
+func mgProblem(t *testing.T, levels int) (*MGSolver, func(x, y, tt float64) float64) {
+	t.Helper()
+	omega := 1.0
+	hb, err := NewHarmonicBalance(1, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMGSolver(hb, 2, 16, 32, 0.6, 0.4, 0.8, levels, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uE := func(x, y, tt float64) float64 {
+		return math.Sin(x)*math.Cos(omega*tt) + 0.3*math.Cos(y)*math.Sin(omega*tt)
+	}
+	m.Fine().SetForcing(uE,
+		func(x, y, tt float64) float64 { return math.Cos(x) * math.Cos(omega*tt) },
+		func(x, y, tt float64) float64 { return -0.3 * math.Sin(y) * math.Sin(omega*tt) },
+		func(x, y, tt float64) float64 { return -math.Sin(x) * math.Cos(omega*tt) },
+		func(x, y, tt float64) float64 { return -0.3 * math.Cos(y) * math.Sin(omega*tt) },
+	)
+	return m, uE
+}
+
+func TestMGValidation(t *testing.T) {
+	hb, _ := NewHarmonicBalance(1, 1)
+	if _, err := NewMGSolver(hb, 2, 16, 32, 1, 1, 1, 0, 0.01); err == nil {
+		t.Error("0 levels should fail")
+	}
+	if _, err := NewMGSolver(hb, 2, 10, 32, 1, 1, 1, 3, 0.01); err == nil {
+		t.Error("grid not divisible by 4 should fail")
+	}
+}
+
+func TestMGConverges(t *testing.T) {
+	m, uE := mgProblem(t, 2)
+	cycles, resid := m.Solve(1e-4, 500)
+	if resid > 1e-4 {
+		t.Fatalf("MG did not converge: %v after %d cycles", resid, cycles)
+	}
+	if e := m.Fine().MaxErrorAgainst(uE); e > 0.06 {
+		t.Errorf("solution error %v too large", e)
+	}
+}
+
+func TestMGBeatsSingleLevel(t *testing.T) {
+	// Multigrid reaches the tolerance in far fewer fine-level sweeps
+	// than single-level pseudo-time stepping — the reason COSA uses MG.
+	fineSweepsPerCycle := 1 + 4 + 4 // Cycle() step + pre + post smooths
+
+	mg, _ := mgProblem(t, 2)
+	mgCycles, mgResid := mg.Solve(1e-3, 300)
+	if mgResid > 1e-3 {
+		t.Fatalf("MG did not converge: %v", mgResid)
+	}
+	mgFineSweeps := mgCycles * fineSweepsPerCycle
+
+	single, _ := mgProblem(t, 1)
+	// Single level: same smoother, same tau; count plain sweeps to the
+	// same tolerance.
+	s := single.Fine()
+	sweeps := 0
+	for ; sweeps < 20000; sweeps++ {
+		if s.Step(single.Tau) < 1e-3 {
+			break
+		}
+	}
+	if sweeps < 2*mgFineSweeps {
+		t.Errorf("MG advantage too small: %d MG fine sweeps vs %d single-level sweeps",
+			mgFineSweeps, sweeps)
+	}
+}
+
+func TestMGResidualNormFinite(t *testing.T) {
+	m, _ := mgProblem(t, 2)
+	if r := m.ResidualNorm(); math.IsInf(r, 1) || math.IsNaN(r) {
+		t.Errorf("residual norm = %v", r)
+	}
+}

@@ -1,0 +1,245 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"a64fxbench/internal/netmodel"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/topo"
+	"a64fxbench/internal/units"
+)
+
+func TestFactor3D(t *testing.T) {
+	cases := []struct {
+		p          int
+		px, py, pz int
+	}{
+		{1, 1, 1, 1},
+		{8, 2, 2, 2},
+		{48, 4, 4, 3},
+		{64, 4, 4, 4},
+		{24, 4, 3, 2},
+		{7, 7, 1, 1},
+		{0, 1, 1, 1},
+	}
+	for _, c := range cases {
+		px, py, pz := Factor3D(c.p)
+		if px != c.px || py != c.py || pz != c.pz {
+			t.Errorf("Factor3D(%d) = %d,%d,%d want %d,%d,%d", c.p, px, py, pz, c.px, c.py, c.pz)
+		}
+	}
+}
+
+func TestFactor2D(t *testing.T) {
+	if px, py := Factor2D(12); px != 4 || py != 3 {
+		t.Errorf("Factor2D(12) = %d,%d", px, py)
+	}
+	if px, py := Factor2D(1); px != 1 || py != 1 {
+		t.Errorf("Factor2D(1) = %d,%d", px, py)
+	}
+	if px, py := Factor2D(13); px != 13 || py != 1 {
+		t.Errorf("Factor2D(13) = %d,%d", px, py)
+	}
+}
+
+func TestGridCoordsRoundTrip(t *testing.T) {
+	g := NewGrid3D(48)
+	if g.Size() != 48 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	for r := 0; r < g.Size(); r++ {
+		x, y, z := g.Coords(r)
+		if back := g.Rank(x, y, z); back != r {
+			t.Errorf("rank %d → (%d,%d,%d) → %d", r, x, y, z, back)
+		}
+	}
+}
+
+func TestCoordsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGrid3D(8).Coords(8)
+}
+
+func TestNeighborAcross(t *testing.T) {
+	g := Grid3D{PX: 2, PY: 2, PZ: 2}
+	// Rank 0 is at (0,0,0): neighbours exist only in + directions.
+	if g.NeighborAcross(0, XMinus) != -1 {
+		t.Error("XMinus at boundary should be -1")
+	}
+	if g.NeighborAcross(0, XPlus) != 1 {
+		t.Error("XPlus of rank 0 should be 1")
+	}
+	if g.NeighborAcross(0, YPlus) != 2 {
+		t.Error("YPlus of rank 0 should be 2")
+	}
+	if g.NeighborAcross(0, ZPlus) != 4 {
+		t.Error("ZPlus of rank 0 should be 4")
+	}
+	if g.CountInteriorNeighbors(0) != 3 {
+		t.Errorf("corner rank has %d neighbours", g.CountInteriorNeighbors(0))
+	}
+}
+
+func TestFaceBytes(t *testing.T) {
+	// X faces of a 4×5×6 block with width 1 and 8-byte cells: 5·6·8.
+	if got := FaceBytes(XPlus, 4, 5, 6, 1, 8); got != 240 {
+		t.Errorf("X face = %d", got)
+	}
+	if got := FaceBytes(YMinus, 4, 5, 6, 2, 8); got != 4*6*2*8 {
+		t.Errorf("Y face = %d", got)
+	}
+	if got := FaceBytes(ZPlus, 4, 5, 6, 1, 8); got != 4*5*8 {
+		t.Errorf("Z face = %d", got)
+	}
+}
+
+func testJob(p, nodes int) simmpi.JobConfig {
+	model := func(int) *perfmodel.CostModel {
+		return &perfmodel.CostModel{
+			Node: perfmodel.NodeCapability{
+				Name: "t", Cores: 1,
+				PeakFlops:          units.GFlopPerSec,
+				ScalarFlopsPerCore: units.GFlopPerSec,
+				Domains: []perfmodel.MemoryDomain{{
+					Cores: 1, PeakBandwidth: units.GBPerSec,
+					PerCoreBandwidth: units.GBPerSec, Capacity: units.GiB,
+				}},
+			},
+		}
+	}
+	return simmpi.JobConfig{
+		Procs: p, Nodes: nodes, RankModel: model,
+		Fabric: &netmodel.Fabric{
+			Name: "t", Topo: &topo.FatTree{NodesPerLeaf: 4},
+			SoftwareOverhead: units.Microsecond,
+			HopLatency:       units.Duration(100 * units.Nanosecond),
+			LinkBandwidth:    10 * units.GBPerSec,
+		},
+	}
+}
+
+func TestExchangeCompletes(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 12} {
+		p := p
+		g := NewGrid3D(p)
+		spec := HaloSpec{NX: 8, NY: 8, NZ: 8, Width: 1, Elem: 8}
+		rep, err := simmpi.Run(testJob(p, min(p, 4)), func(r *simmpi.Rank) error {
+			for it := 0; it < 3; it++ {
+				Exchange(r, g, spec, 100*it)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if p > 1 && rep.TotalMsgs == 0 {
+			t.Errorf("p=%d: no messages exchanged", p)
+		}
+		if p == 1 && rep.TotalMsgs != 0 {
+			t.Errorf("p=1 should exchange nothing, got %d msgs", rep.TotalMsgs)
+		}
+	}
+}
+
+func TestExchangeByteAccounting(t *testing.T) {
+	// 2 ranks in a 2×1×1 grid exchange one X face each per call.
+	g := Grid3D{PX: 2, PY: 1, PZ: 1}
+	spec := HaloSpec{NX: 4, NY: 5, NZ: 6, Width: 1, Elem: 8}
+	rep, err := simmpi.Run(testJob(2, 2), func(r *simmpi.Rank) error {
+		Exchange(r, g, spec, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPer := FaceBytes(XPlus, 4, 5, 6, 1, 8)
+	if rep.TotalBytesSent != 2*wantPer {
+		t.Errorf("bytes = %d, want %d", rep.TotalBytesSent, 2*wantPer)
+	}
+	if rep.TotalMsgs != 2 {
+		t.Errorf("msgs = %d, want 2", rep.TotalMsgs)
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	b := BlockPartition{N: 800, P: 768}
+	// 800 blocks over 768 procs: 32 procs get 2 blocks, rest get 1 —
+	// the paper's Fig. 4 load-imbalance case.
+	twos := 0
+	total := 0
+	for i := 0; i < b.P; i++ {
+		p := b.Part(i)
+		total += p
+		if p == 2 {
+			twos++
+		} else if p != 1 {
+			t.Errorf("part %d = %d", i, p)
+		}
+	}
+	if twos != 32 || total != 800 {
+		t.Errorf("twos = %d, total = %d", twos, total)
+	}
+	if b.MaxPart() != 2 {
+		t.Errorf("MaxPart = %d", b.MaxPart())
+	}
+	// 800 blocks over 1024 procs: only 800 active (13 of 16 Fulhame
+	// nodes do work).
+	b = BlockPartition{N: 800, P: 1024}
+	if b.ActiveParts() != 800 {
+		t.Errorf("ActiveParts = %d", b.ActiveParts())
+	}
+	if b.Part(900) != 0 {
+		t.Error("inactive part should be 0")
+	}
+	if (BlockPartition{N: 5, P: 0}).MaxPart() != 0 {
+		t.Error("degenerate partition")
+	}
+}
+
+// Property: Factor3D always multiplies back to p, ordered descending.
+func TestFactor3DProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw%2048) + 1
+		a, b, c := Factor3D(p)
+		return a*b*c == p && a >= b && b >= c && c >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: partition parts sum to N and differ by at most 1.
+func TestBlockPartitionProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n, p := int(nRaw%5000), int(pRaw%1024)+1
+		b := BlockPartition{N: n, P: p}
+		sum, maxP, minP := 0, 0, 1<<30
+		for i := 0; i < p; i++ {
+			v := b.Part(i)
+			sum += v
+			if v > maxP {
+				maxP = v
+			}
+			if v < minP {
+				minP = v
+			}
+		}
+		return sum == n && maxP-minP <= 1 && b.MaxPart() == maxP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkForward(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := randSlice(n, 1)
+			work := make([]complex128, n)
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, x)
+				Forward(work)
+			}
+			b.ReportMetric(Flops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkForwardBluestein(b *testing.B) {
+	// Non-power-of-two lengths exercise the chirp-z path.
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := randSlice(n, 2)
+			work := make([]complex128, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, x)
+				Forward(work)
+			}
+		})
+	}
+}
+
+func BenchmarkGrid3D(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := NewGrid3D(n)
+			for i := range g.Data {
+				g.Data[i] = complex(float64(i%11), float64(i%7))
+			}
+			b.SetBytes(int64(16 * n * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Forward3D()
+				g.Inverse3D()
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+// Package fft implements complex discrete Fourier transforms: an
+// iterative radix-2 Cooley-Tukey transform for power-of-two lengths,
+// Bluestein's chirp-z algorithm for arbitrary lengths, and 3D transforms
+// over cubic grids — the transform mix CASTEP's plane-wave solver needs.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// nextPow2 returns the smallest power of two ≥ n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward transforms x in place: X[k] = Σ x[j]·e^{-2πijk/n}.
+func Forward(x []complex128) { transform(x, false) }
+
+// Inverse transforms x in place with 1/n normalisation, so
+// Inverse(Forward(x)) == x.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// transform dispatches on length.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	switch {
+	case n <= 1:
+	case IsPow2(n):
+		radix2(x, inverse)
+	default:
+		bluestein(x, inverse)
+	}
+}
+
+// radix2 is the iterative in-place Cooley-Tukey transform.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein handles arbitrary lengths via the chirp-z transform: an
+// n-point DFT expressed as a convolution, evaluated with power-of-two
+// FFTs of length ≥ 2n-1.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := nextPow2(2*n - 1)
+	// chirp[i] = e^{sign·πi²/n}
+	chirp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		// i² mod 2n avoids precision loss for large i.
+		j := (int64(i) * int64(i)) % int64(2*n)
+		chirp[i] = cmplx.Rect(1, sign*math.Pi*float64(j)/float64(n))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		a[i] = x[i] * chirp[i]
+		b[i] = cmplx.Conj(chirp[i])
+	}
+	for i := 1; i < n; i++ {
+		b[m-i] = b[i]
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for i := 0; i < n; i++ {
+		x[i] = a[i] * scale * chirp[i]
+	}
+}
+
+// Flops estimates the flop count of one n-point complex transform using
+// the standard 5·n·log₂(n) accounting.
+func Flops(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// Grid3D is a complex field on an n×n×n grid stored x-fastest, with 3D
+// transforms applied dimension by dimension.
+type Grid3D struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid3D allocates a zeroed n³ grid.
+func NewGrid3D(n int) *Grid3D {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid grid size %d", n))
+	}
+	return &Grid3D{N: n, Data: make([]complex128, n*n*n)}
+}
+
+// At returns element (i, j, k).
+func (g *Grid3D) At(i, j, k int) complex128 { return g.Data[i+g.N*(j+g.N*k)] }
+
+// Set assigns element (i, j, k).
+func (g *Grid3D) Set(i, j, k int, v complex128) { g.Data[i+g.N*(j+g.N*k)] = v }
+
+// Forward3D transforms the grid in place along all three dimensions.
+func (g *Grid3D) Forward3D() { g.transform3D(false) }
+
+// Inverse3D inverts Forward3D (with full 1/n³ normalisation).
+func (g *Grid3D) Inverse3D() { g.transform3D(true) }
+
+func (g *Grid3D) transform3D(inverse bool) {
+	n := g.N
+	buf := make([]complex128, n)
+	// X direction: contiguous rows.
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			row := g.Data[n*(j+n*k) : n*(j+n*k)+n]
+			if inverse {
+				Inverse(row)
+			} else {
+				Forward(row)
+			}
+		}
+	}
+	// Y direction.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				buf[j] = g.At(i, j, k)
+			}
+			if inverse {
+				Inverse(buf)
+			} else {
+				Forward(buf)
+			}
+			for j := 0; j < n; j++ {
+				g.Set(i, j, k, buf[j])
+			}
+		}
+	}
+	// Z direction.
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				buf[k] = g.At(i, j, k)
+			}
+			if inverse {
+				Inverse(buf)
+			} else {
+				Forward(buf)
+			}
+			for k := 0; k < n; k++ {
+				g.Set(i, j, k, buf[k])
+			}
+		}
+	}
+}
+
+// Flops3D estimates the flop count of one 3D transform on an n³ grid:
+// 3·n² one-dimensional transforms of length n.
+func Flops3D(n int) float64 {
+	return 3 * float64(n) * float64(n) * Flops(n)
+}
+
+// NaiveDFT computes the n²-cost reference transform, for tests.
+func NaiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Rect(1, sign*2*math.Pi*float64(j)*float64(k)/float64(n))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}

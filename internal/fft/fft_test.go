@@ -1,0 +1,224 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want bool
+	}{{1, true}, {2, true}, {3, false}, {64, true}, {0, false}, {-4, false}, {96, false}} {
+		if got := IsPow2(c.n); got != c.want {
+			t.Errorf("IsPow2(%d) = %v", c.n, got)
+		}
+	}
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 30, 64, 100} {
+		x := randSlice(n, int64(n))
+		want := NaiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if e := maxErr(got, want); e > 1e-9 {
+			t.Errorf("n=%d forward error %v", n, e)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 12, 64} {
+		x := randSlice(n, int64(100+n))
+		want := NaiveDFT(x, true)
+		got := append([]complex128(nil), x...)
+		Inverse(got)
+		if e := maxErr(got, want); e > 1e-9 {
+			t.Errorf("n=%d inverse error %v", n, e)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 17, 48, 128} {
+		x := randSlice(n, int64(200+n))
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		Inverse(got)
+		if e := maxErr(got, x); e > 1e-9 {
+			t.Errorf("n=%d round-trip error %v", n, e)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² == (1/n)·Σ|X|².
+	for _, n := range []int{8, 48, 100} {
+		x := randSlice(n, int64(300+n))
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		Forward(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+			t.Errorf("n=%d Parseval violated: %v vs %v", n, freqE/float64(n), timeE)
+		}
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	n := 16
+	x := make([]complex128, n)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if Flops(1) != 0 {
+		t.Error("Flops(1) should be 0")
+	}
+	if got := Flops(8); got != 5*8*3 {
+		t.Errorf("Flops(8) = %v", got)
+	}
+	if got := Flops3D(4); got != 3*16*Flops(4) {
+		t.Errorf("Flops3D(4) = %v", got)
+	}
+}
+
+func TestGrid3DRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		g := NewGrid3D(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range g.Data {
+			g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), g.Data...)
+		g.Forward3D()
+		g.Inverse3D()
+		if e := maxErr(g.Data, orig); e > 1e-9 {
+			t.Errorf("n=%d 3D round-trip error %v", n, e)
+		}
+	}
+}
+
+func TestGrid3DPlaneWave(t *testing.T) {
+	// A single plane wave e^{2πi·(x·kx)/n} transforms to one spike.
+	n := 8
+	g := NewGrid3D(n)
+	kx := 3
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				g.Set(i, j, k, cmplx.Rect(1, 2*math.Pi*float64(kx*i)/float64(n)))
+			}
+		}
+	}
+	g.Forward3D()
+	want := complex(float64(n*n*n), 0)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				exp := complex128(0)
+				if i == kx && j == 0 && k == 0 {
+					exp = want
+				}
+				if cmplx.Abs(g.At(i, j, k)-exp) > 1e-6 {
+					t.Fatalf("spike wrong at (%d,%d,%d): %v", i, j, k, g.At(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+func TestGrid3DAtSet(t *testing.T) {
+	g := NewGrid3D(3)
+	g.Set(1, 2, 0, 5)
+	if g.At(1, 2, 0) != 5 {
+		t.Error("At/Set inconsistent")
+	}
+	if g.Data[1+3*2] != 5 {
+		t.Error("layout not x-fastest")
+	}
+}
+
+func TestNewGrid3DInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGrid3D(0)
+}
+
+// Property: linearity of the transform.
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		x := randSlice(n, seed)
+		y := randSlice(n, seed+1)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = x[i] + 2*y[i]
+		}
+		Forward(x)
+		Forward(y)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(x[i]+2*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round trip at arbitrary lengths.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		x := randSlice(n, seed)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		Inverse(got)
+		return maxErr(got, x) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

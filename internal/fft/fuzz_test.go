@@ -1,0 +1,42 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks Forward∘Inverse identity for arbitrary lengths and
+// content derived from fuzzer input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(8), int64(1))
+	f.Add(uint8(7), int64(42))
+	f.Add(uint8(100), int64(-3))
+	f.Add(uint8(1), int64(0))
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64) {
+		n := int(nRaw)%200 + 1
+		x := make([]complex128, n)
+		s := seed
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			re := float64(int32(s>>32)) / float64(1<<28)
+			s = s*6364136223846793005 + 1442695040888963407
+			im := float64(int32(s>>32)) / float64(1<<28)
+			x[i] = complex(re, im)
+		}
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		Inverse(got)
+		var scale float64 = 1
+		for _, v := range x {
+			if a := math.Abs(real(v)) + math.Abs(imag(v)); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			d := got[i] - x[i]
+			if math.Abs(real(d))+math.Abs(imag(d)) > 1e-8*scale {
+				t.Fatalf("n=%d: round-trip error at %d: %v vs %v", n, i, got[i], x[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package hpcg
+
+import (
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// BenchmarkVCycle measures the real multigrid V-cycle at validation
+// scale.
+func BenchmarkVCycle(b *testing.B) {
+	s, err := NewSolver(32, 32, 32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := make([]float64, s.N())
+	z := make([]float64, s.N())
+	for i := range r {
+		r[i] = float64(i%11) - 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Precondition(r, z)
+	}
+}
+
+// BenchmarkSolve measures the full preconditioned CG at validation scale.
+func BenchmarkSolve(b *testing.B) {
+	s, err := NewSolver(16, 16, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, s.N())
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(rhs, 25, 1e-9)
+	}
+}
+
+// BenchmarkMeteredSingleNode measures the simulator's own cost for a
+// single-node metered HPCG run.
+func BenchmarkMeteredSingleNode(b *testing.B) {
+	cfg := Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

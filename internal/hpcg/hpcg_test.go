@@ -1,0 +1,250 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/linalg"
+	"a64fxbench/internal/units"
+)
+
+// --- Numerical validation of the real solver ---
+
+func TestSolverConverges(t *testing.T) {
+	s, err := NewSolver(16, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i) * 0.1)
+	}
+	b := make([]float64, n)
+	s.levels[0].a.SpMV(xTrue, b)
+
+	x, stats := s.Solve(b, 50, 1e-10)
+	if !stats.Converged {
+		t.Fatalf("CG did not converge in 50 iterations: relres=%v", stats.RelativeResidual)
+	}
+	if d := linalg.AbsDiffMax(x, xTrue); d > 1e-6 {
+		t.Errorf("solution error %v", d)
+	}
+	// MG-preconditioned CG on this problem should converge fast.
+	if stats.Iterations > 25 {
+		t.Errorf("took %d iterations, preconditioner not effective", stats.Iterations)
+	}
+}
+
+func TestSolverResidualMonotone(t *testing.T) {
+	s, err := NewSolver(8, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, s.N())
+	for i := range b {
+		b[i] = 1
+	}
+	_, stats := s.Solve(b, 30, 1e-12)
+	for i := 1; i < len(stats.ResidualHistory); i++ {
+		// CG residuals are not strictly monotone, but should never
+		// blow up by more than a small factor for this SPD problem.
+		if stats.ResidualHistory[i] > stats.ResidualHistory[i-1]*10 {
+			t.Errorf("residual exploded at iter %d: %v → %v",
+				i, stats.ResidualHistory[i-1], stats.ResidualHistory[i])
+		}
+	}
+}
+
+func TestSolverZeroRHS(t *testing.T) {
+	s, _ := NewSolver(8, 8, 8, 2)
+	x, stats := s.Solve(make([]float64, s.N()), 10, 1e-10)
+	if !stats.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+	if linalg.MaxAbs(x) != 0 {
+		t.Error("zero RHS should give zero solution")
+	}
+}
+
+func TestSolverPreconditionerReducesError(t *testing.T) {
+	s, _ := NewSolver(16, 16, 16, 4)
+	n := s.N()
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = math.Cos(float64(i) * 0.37)
+	}
+	z := make([]float64, n)
+	s.Precondition(r, z)
+	// z should approximate A⁻¹r, so A·z ≈ r at least in direction:
+	// the residual after preconditioning must be smaller than ‖r‖.
+	az := make([]float64, n)
+	s.levels[0].a.SpMV(z, az)
+	diff := make([]float64, n)
+	linalg.Waxpby(1, r, -1, az, diff)
+	if linalg.Norm2(diff) >= linalg.Norm2(r) {
+		t.Errorf("V-cycle did not reduce residual: %v vs %v",
+			linalg.Norm2(diff), linalg.Norm2(r))
+	}
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	if _, err := NewSolver(10, 10, 10, 3); err == nil {
+		t.Error("grid not divisible by 4 should fail")
+	}
+	if _, err := NewSolver(8, 8, 8, 0); err == nil {
+		t.Error("zero levels should fail")
+	}
+	s, err := NewSolver(8, 8, 8, 2)
+	if err != nil || s.Levels() != 2 {
+		t.Errorf("levels = %v, err = %v", s.Levels(), err)
+	}
+}
+
+// --- Metered benchmark ---
+
+// paperTable3 holds the published single-node HPCG results.
+var paperTable3 = map[arch.ID]struct {
+	unopt, opt float64
+}{
+	arch.A64FX:   {38.26, 0},
+	arch.ARCHER:  {15.65, 0},
+	arch.Cirrus:  {17.27, 0},
+	arch.NGIO:    {26.16, 37.61},
+	arch.Fulhame: {23.58, 33.80},
+}
+
+func TestTableIIISingleNode(t *testing.T) {
+	for id, want := range paperTable3 {
+		sys := arch.MustGet(id)
+		res, err := Run(Config{System: sys, Nodes: 1, Iterations: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rel := math.Abs(res.GFLOPs-want.unopt) / want.unopt; rel > 0.10 {
+			t.Errorf("%s unoptimised = %.2f GF/s, paper %.2f (%.0f%% off)",
+				id, res.GFLOPs, want.unopt, rel*100)
+		}
+		if want.opt > 0 {
+			res, err := Run(Config{System: sys, Nodes: 1, Iterations: 5, Optimised: true})
+			if err != nil {
+				t.Fatalf("%s opt: %v", id, err)
+			}
+			if rel := math.Abs(res.GFLOPs-want.opt) / want.opt; rel > 0.10 {
+				t.Errorf("%s optimised = %.2f GF/s, paper %.2f", id, res.GFLOPs, want.opt)
+			}
+		}
+	}
+}
+
+func TestA64FXBeatsAllSingleNode(t *testing.T) {
+	// The paper's headline: unoptimised A64FX beats even the optimised
+	// variants of every other system on HPCG.
+	a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []arch.ID{arch.ARCHER, arch.Cirrus, arch.NGIO, arch.Fulhame} {
+		o, err := Run(Config{System: arch.MustGet(id), Nodes: 1, Iterations: 5, Optimised: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.GFLOPs >= a.GFLOPs {
+			t.Errorf("%s (%.2f) should not beat A64FX (%.2f)", id, o.GFLOPs, a.GFLOPs)
+		}
+	}
+}
+
+func TestMultiNodeScaling(t *testing.T) {
+	sys := arch.MustGet(arch.A64FX)
+	r1, err := Run(Config{System: sys, Nodes: 1, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(Config{System: sys, Nodes: 4, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r4.GFLOPs / r1.GFLOPs
+	if speedup < 3.5 || speedup > 4.05 {
+		t.Errorf("4-node speedup = %.2f, expected near-linear", speedup)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing system should fail")
+	}
+	sys := arch.MustGet(arch.A64FX)
+	if _, err := Run(Config{System: sys, NX: 4, NY: 4, NZ: 4}); err == nil {
+		t.Error("too-small grid should fail")
+	}
+	if _, err := Run(Config{System: sys, NX: 24, NY: 24, NZ: 20, Levels: 4}); err == nil {
+		t.Error("non-divisible grid should fail")
+	}
+}
+
+func TestPctPeak(t *testing.T) {
+	// Paper: A64FX achieves ≈1.1% of peak, ARCHER ≈3.0%.
+	res, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PctPeak < 0.9 || res.PctPeak > 1.4 {
+		t.Errorf("A64FX %%peak = %.2f, paper says 1.1", res.PctPeak)
+	}
+	res, err = Run(Config{System: arch.MustGet(arch.ARCHER), Nodes: 1, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PctPeak < 2.5 || res.PctPeak > 3.5 {
+		t.Errorf("ARCHER %%peak = %.2f, paper says 3.0", res.PctPeak)
+	}
+}
+
+func TestMemoryPerRankFitsA64FX(t *testing.T) {
+	// §V.A: 80³ per process was chosen to fit into the 32 GB node.
+	sys := arch.MustGet(arch.A64FX)
+	perRank := MemoryPerRank(Config{})
+	total := units.Bytes(sys.CoresPerNode()) * perRank
+	if total > sys.MemoryPerNode() {
+		t.Errorf("80³ per rank needs %v per node, exceeding %v",
+			total, sys.MemoryPerNode())
+	}
+	// But it should be a substantial fraction — HPCG sizes the problem
+	// to stress memory.
+	if float64(total) < 0.3*float64(sys.MemoryPerNode()) {
+		t.Errorf("problem suspiciously small: %v of %v", total, sys.MemoryPerNode())
+	}
+}
+
+func TestOptimisedFasterEverywhere(t *testing.T) {
+	for _, id := range arch.IDs() {
+		sys := arch.MustGet(id)
+		u, err1 := Run(Config{System: sys, Nodes: 1, Iterations: 3})
+		o, err2 := Run(Config{System: sys, Nodes: 1, Iterations: 3, Optimised: true})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if o.GFLOPs <= u.GFLOPs {
+			t.Errorf("%s: optimised (%.2f) not faster than unoptimised (%.2f)",
+				id, o.GFLOPs, u.GFLOPs)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{System: arch.MustGet(arch.Fulhame), Nodes: 2, Iterations: 3}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GFLOPs != b.GFLOPs || a.Seconds != b.Seconds {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}

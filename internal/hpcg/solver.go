@@ -1,0 +1,181 @@
+// Package hpcg implements the High Performance Conjugate Gradients
+// benchmark: the real numerical algorithm (multigrid-preconditioned CG on
+// the 27-point stencil) used for validation, and the metered distributed
+// version that reproduces the paper's Table III (single node) and
+// Table IV (multi-node) results on the five simulated systems.
+package hpcg
+
+import (
+	"fmt"
+
+	"a64fxbench/internal/linalg"
+	"a64fxbench/internal/sparse"
+)
+
+// level is one rung of the multigrid hierarchy.
+type level struct {
+	nx, ny, nz int
+	a          *sparse.CSR
+	// work vectors
+	r, z, tmp []float64
+}
+
+// MGSolver is a real, runnable HPCG solver: CG preconditioned by a
+// geometric multigrid V-cycle with symmetric Gauss-Seidel smoothing —
+// the reference HPCG algorithm.
+type MGSolver struct {
+	levels []*level
+}
+
+// NewSolver builds the hierarchy for an nx×ny×nz grid with nlevels
+// levels (each coarsening halves every dimension, so dimensions must be
+// divisible by 2^(nlevels-1)).
+func NewSolver(nx, ny, nz, nlevels int) (*MGSolver, error) {
+	if nlevels < 1 {
+		return nil, fmt.Errorf("hpcg: need at least 1 level, got %d", nlevels)
+	}
+	div := 1 << uint(nlevels-1)
+	if nx%div != 0 || ny%div != 0 || nz%div != 0 {
+		return nil, fmt.Errorf("hpcg: grid %dx%dx%d not divisible by %d", nx, ny, nz, div)
+	}
+	s := &MGSolver{}
+	for l := 0; l < nlevels; l++ {
+		lnx, lny, lnz := nx>>uint(l), ny>>uint(l), nz>>uint(l)
+		a, err := sparse.Stencil27(lnx, lny, lnz)
+		if err != nil {
+			return nil, err
+		}
+		n := a.N
+		s.levels = append(s.levels, &level{
+			nx: lnx, ny: lny, nz: lnz, a: a,
+			r: make([]float64, n), z: make([]float64, n), tmp: make([]float64, n),
+		})
+	}
+	return s, nil
+}
+
+// Levels reports the hierarchy depth.
+func (s *MGSolver) Levels() int { return len(s.levels) }
+
+// N reports the fine-grid dimension.
+func (s *MGSolver) N() int { return s.levels[0].a.N }
+
+// restrict injects the fine residual onto the coarse grid (HPCG-style
+// injection at even points).
+func restrictVec(fine *level, coarse *level, rf, rc []float64) {
+	for kz := 0; kz < coarse.nz; kz++ {
+		for ky := 0; ky < coarse.ny; ky++ {
+			for kx := 0; kx < coarse.nx; kx++ {
+				fi := (2 * kx) + fine.nx*((2*ky)+fine.ny*(2*kz))
+				ci := kx + coarse.nx*(ky+coarse.ny*kz)
+				rc[ci] = rf[fi]
+			}
+		}
+	}
+}
+
+// prolong adds the coarse correction back at the even fine points.
+func prolong(fine *level, coarse *level, xc, xf []float64) {
+	for kz := 0; kz < coarse.nz; kz++ {
+		for ky := 0; ky < coarse.ny; ky++ {
+			for kx := 0; kx < coarse.nx; kx++ {
+				fi := (2 * kx) + fine.nx*((2*ky)+fine.ny*(2*kz))
+				ci := kx + coarse.nx*(ky+coarse.ny*kz)
+				xf[fi] += xc[ci]
+			}
+		}
+	}
+}
+
+// vcycle applies one multigrid V-cycle for A·z = r at level l, with z
+// assumed zeroed on entry.
+func (s *MGSolver) vcycle(l int, r, z []float64) {
+	lv := s.levels[l]
+	if l == len(s.levels)-1 {
+		lv.a.SymGS(r, z)
+		return
+	}
+	// Pre-smooth.
+	lv.a.SymGS(r, z)
+	// Residual: tmp = r - A z.
+	lv.a.SpMV(z, lv.tmp)
+	for i := range lv.tmp {
+		lv.tmp[i] = r[i] - lv.tmp[i]
+	}
+	// Restrict and recurse.
+	coarse := s.levels[l+1]
+	restrictVec(lv, coarse, lv.tmp, coarse.r)
+	linalg.Fill(coarse.z, 0)
+	s.vcycle(l+1, coarse.r, coarse.z)
+	// Prolong correction.
+	prolong(lv, coarse, coarse.z, z)
+	// Post-smooth.
+	lv.a.SymGS(r, z)
+}
+
+// Precondition applies the V-cycle preconditioner: z = M⁻¹ r.
+func (s *MGSolver) Precondition(r, z []float64) {
+	linalg.Fill(z, 0)
+	s.vcycle(0, r, z)
+}
+
+// SolveStats reports the outcome of a Solve call.
+type SolveStats struct {
+	// Iterations actually performed.
+	Iterations int
+	// RelativeResidual is ‖b - A·x‖ / ‖b‖ at exit.
+	RelativeResidual float64
+	// Converged is true if the tolerance was met.
+	Converged bool
+	// ResidualHistory records the relative residual after each
+	// iteration.
+	ResidualHistory []float64
+}
+
+// Solve runs preconditioned CG on A·x = b from a zero initial guess and
+// returns the solution with convergence statistics.
+func (s *MGSolver) Solve(b []float64, maxIter int, tol float64) ([]float64, SolveStats) {
+	a := s.levels[0].a
+	n := a.N
+	if len(b) != n {
+		panic(fmt.Sprintf("hpcg: rhs length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	normB := linalg.Norm2(b)
+	if normB == 0 {
+		return x, SolveStats{Converged: true}
+	}
+	var stats SolveStats
+	s.Precondition(r, z)
+	copy(p, z)
+	rz := linalg.Dot(r, z)
+	for it := 0; it < maxIter; it++ {
+		a.SpMV(p, ap)
+		pap := linalg.Dot(p, ap)
+		if pap <= 0 {
+			break // loss of positive definiteness (numerical)
+		}
+		alpha := rz / pap
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, ap, r)
+		stats.Iterations = it + 1
+		res := linalg.Norm2(r) / normB
+		stats.ResidualHistory = append(stats.ResidualHistory, res)
+		stats.RelativeResidual = res
+		if res < tol {
+			stats.Converged = true
+			break
+		}
+		s.Precondition(r, z)
+		rzNew := linalg.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		linalg.Waxpby(1, z, beta, p, p)
+	}
+	return x, stats
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkDot(b *testing.B) {
+	n := 1 << 16
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = float64(i%13), float64(i%7)
+	}
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	n := 1 << 16
+	x := make([]float64, n)
+	y := make([]float64, n)
+	b.SetBytes(int64(24 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(1.0001, x, y)
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	// 16³ matches Nekbone's element operators; 128 shows blocking-free
+	// larger behaviour.
+	for _, n := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := randMatrix(n, n, 1)
+			bb := randMatrix(n, n, 2)
+			c := NewMatrix(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(1, a, bb, 0, c)
+			}
+			b.ReportMetric(GemmFlops(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkTensorApply3D(b *testing.B) {
+	// Order 16: the Nekbone configuration.
+	n := 16
+	d := randMatrix(n, n, 3)
+	u := make([]float64, n*n*n)
+	out := make([]float64, n*n*n)
+	for i := range u {
+		u[i] = float64(i % 9)
+	}
+	for axis := 0; axis < 3; axis++ {
+		axis := axis
+		b.Run(fmt.Sprintf("axis=%d", axis), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TensorApply3D(d, u, out, n, axis)
+			}
+			b.ReportMetric(TensorApply3DFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	n := 64
+	base := randMatrix(n, n, 4)
+	spd := NewMatrix(n, n)
+	Gemm(1, base.T(), base, 0, spd)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := spd.Clone()
+		if err := Cholesky(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if Dot(nil, nil) != 0 {
+		t.Error("empty dot should be 0")
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestAxpyWaxpbyScale(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	w := make([]float64, 3)
+	Waxpby(2, []float64{1, 2, 3}, -1, []float64{1, 1, 1}, w)
+	want = []float64{1, 3, 5}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Errorf("Waxpby[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	Scale(0.5, w)
+	if w[2] != 2.5 {
+		t.Errorf("Scale result %v", w)
+	}
+}
+
+func TestCopyFillMax(t *testing.T) {
+	dst := make([]float64, 3)
+	Copy(dst, []float64{1, -5, 2})
+	if dst[1] != -5 {
+		t.Error("Copy failed")
+	}
+	if MaxAbs(dst) != 5 {
+		t.Errorf("MaxAbs = %v", MaxAbs(dst))
+	}
+	Fill(dst, 7)
+	if dst[0] != 7 || dst[2] != 7 {
+		t.Error("Fill failed")
+	}
+	if AbsDiffMax([]float64{1, 2}, []float64{1, 5}) != 3 {
+		t.Error("AbsDiffMax failed")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Error("Set/At failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone aliases data")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 42 {
+		t.Error("transpose wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1, 1}, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{2, 3, 4}, {5, 5, 5}, {1, 7, 2}, {16, 16, 16}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		c := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		for i := range c.Data {
+			c.Data[i] = rng.NormFloat64()
+		}
+		want := c.Clone()
+		alpha, beta := 1.5, -0.5
+		// Naive reference.
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := beta * want.At(i, j)
+				for l := 0; l < k; l++ {
+					s += alpha * a.At(i, l) * b.At(l, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		Gemm(alpha, a, b, beta, c)
+		for i := range c.Data {
+			if !almostEq(c.Data[i], want.Data[i], 1e-12) {
+				t.Fatalf("Gemm(%v) mismatch at %d: %v vs %v", dims, i, c.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Gemm(1, NewMatrix(2, 3), NewMatrix(2, 3), 0, NewMatrix(2, 3))
+}
+
+func TestGemmFlops(t *testing.T) {
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Errorf("GemmFlops = %v", GemmFlops(2, 3, 4))
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// SPD matrix A = Bᵀ·B + n·I.
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	Gemm(1, b.T(), b, 0, a)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	orig := a.Clone()
+
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	orig.MulVec(xTrue, rhs)
+
+	if err := Cholesky(a); err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	x := make([]float64, n)
+	CholeskySolve(a, rhs, x)
+	if d := AbsDiffMax(x, xTrue); d > 1e-9 {
+		t.Errorf("solve error %v", d)
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, -1)
+	if err := Cholesky(a); err == nil {
+		t.Error("negative-definite matrix should fail")
+	}
+	if err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+}
+
+// naiveTensor3D is the index-by-index reference for TensorApply3D.
+func naiveTensor3D(d *Matrix, u []float64, n, axis int) []float64 {
+	out := make([]float64, n*n*n)
+	idx := func(i, j, k int) int { return i + n*(j+n*k) }
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var s float64
+				for l := 0; l < n; l++ {
+					switch axis {
+					case 0:
+						s += d.At(i, l) * u[idx(l, j, k)]
+					case 1:
+						s += d.At(j, l) * u[idx(i, l, k)]
+					case 2:
+						s += d.At(k, l) * u[idx(i, j, l)]
+					}
+				}
+				out[idx(i, j, k)] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestTensorApply3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5
+	d := NewMatrix(n, n)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	u := make([]float64, n*n*n)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n*n*n)
+	for axis := 0; axis < 3; axis++ {
+		TensorApply3D(d, u, out, n, axis)
+		want := naiveTensor3D(d, u, n, axis)
+		if diff := AbsDiffMax(out, want); diff > 1e-12 {
+			t.Errorf("axis %d mismatch %v", axis, diff)
+		}
+	}
+}
+
+func TestTensorApply3DInvalidAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n := 2
+	TensorApply3D(NewMatrix(n, n), make([]float64, 8), make([]float64, 8), n, 3)
+}
+
+func TestTensorApply3DFlops(t *testing.T) {
+	if TensorApply3DFlops(4) != 2*4*4*4*4 {
+		t.Error("flop count wrong")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		x, y := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		if Dot(x, y) != Dot(y, x) {
+			return false
+		}
+		x2 := make([]float64, n)
+		for i := range x2 {
+			x2[i] = 2 * x[i]
+		}
+		a, b := Dot(x2, y), 2*Dot(x, y)
+		scale := math.Max(math.Abs(a), 1)
+		return math.Abs(a-b) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cholesky reconstructs the original matrix (L·Lᵀ = A).
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := NewMatrix(n, n)
+		Gemm(1, b.T(), b, 0, a)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			return false
+		}
+		recon := NewMatrix(n, n)
+		Gemm(1, a, a.T(), 0, recon)
+		return AbsDiffMax(recon.Data, orig.Data) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

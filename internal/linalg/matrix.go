@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec computes y = M·x.
+func (m *Matrix) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d → %d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Gemm computes C = alpha·A·B + beta·C. Shapes must conform:
+// A is m×k, B is k×n, C is m×n. The inner loops are ordered i-k-j for
+// streaming access, the standard cache-friendly form for row-major data.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: Gemm shape mismatch %dx%d · %dx%d → %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// GemmFlops reports the flop count of a Gemm call with these shapes
+// (2·m·n·k for the multiply-accumulate core).
+func GemmFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// Cholesky factorises a symmetric positive-definite matrix in place into
+// its lower-triangular factor L (upper triangle is zeroed) and returns an
+// error if the matrix is not positive definite.
+func Cholesky(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// CholeskySolve solves L·Lᵀ·x = b given the factor from Cholesky,
+// overwriting x with the solution (x and b may alias).
+func CholeskySolve(l *Matrix, b, x []float64) {
+	n := l.Rows
+	if len(b) != n || len(x) != n {
+		panic("linalg: CholeskySolve length mismatch")
+	}
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// TensorApply3D applies the 1D operator D (n×n) along the given axis of a
+// cube field u of extent n³, writing into out: the tensor-product
+// contraction at the heart of spectral-element operators (Nekbone's local
+// gradient). axis 0 is the fastest-varying index.
+func TensorApply3D(d *Matrix, u, out []float64, n int, axis int) {
+	if d.Rows != n || d.Cols != n {
+		panic("linalg: TensorApply3D operator shape mismatch")
+	}
+	if len(u) != n*n*n || len(out) != n*n*n {
+		panic("linalg: TensorApply3D field length mismatch")
+	}
+	idx := func(i, j, k int) int { return i + n*(j+n*k) }
+	switch axis {
+	case 0:
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				base := idx(0, j, k)
+				for i := 0; i < n; i++ {
+					var s float64
+					drow := d.Data[i*n : (i+1)*n]
+					for l, dv := range drow {
+						s += dv * u[base+l]
+					}
+					out[base+i] = s
+				}
+			}
+		}
+	case 1:
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var s float64
+					drow := d.Data[j*n : (j+1)*n]
+					for l, dv := range drow {
+						s += dv * u[idx(i, l, k)]
+					}
+					out[idx(i, j, k)] = s
+				}
+			}
+		}
+	case 2:
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				for k := 0; k < n; k++ {
+					var s float64
+					drow := d.Data[k*n : (k+1)*n]
+					for l, dv := range drow {
+						s += dv * u[idx(i, j, l)]
+					}
+					out[idx(i, j, k)] = s
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("linalg: TensorApply3D invalid axis %d", axis))
+	}
+}
+
+// TensorApply3DFlops reports the flop count of one TensorApply3D call:
+// n³ output points each needing n multiply-adds.
+func TensorApply3DFlops(n int) float64 {
+	nn := float64(n)
+	return 2 * nn * nn * nn * nn
+}

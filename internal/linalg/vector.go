@@ -1,0 +1,98 @@
+// Package linalg provides the dense linear-algebra building blocks used by
+// the benchmark kernels: BLAS-1 vector operations, small dense matrices
+// with GEMM, tensor-product contractions for spectral-element operators,
+// and factorisations for small systems.
+//
+// These are real numerical routines — the benchmarks execute them and
+// validate results — independent of the performance model, which meters
+// their operation counts separately.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Waxpby computes w = a*x + b*y element-wise; w may alias x or y.
+func Waxpby(a float64, x []float64, b float64, y, w []float64) {
+	if len(x) != len(y) || len(x) != len(w) {
+		panic("linalg: Waxpby length mismatch")
+	}
+	for i := range w {
+		w[i] = a*x[i] + b*y[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy copies src into dst (equal lengths required).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("linalg: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// MaxAbs returns the infinity norm of x (0 for empty input).
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AbsDiffMax returns the infinity norm of x - y.
+func AbsDiffMax(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: AbsDiffMax length mismatch")
+	}
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+package minikab
+
+import (
+	"fmt"
+
+	"a64fxbench/internal/linalg"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/sparse"
+	"a64fxbench/internal/units"
+)
+
+// CommMode selects minikab's communication approach (§VI.A lists the
+// communication approach among the solver's command-line options).
+type CommMode int
+
+// The two implemented approaches.
+const (
+	// AllGatherMode assembles the full search direction on every rank
+	// each iteration — simple, correct for any sparsity pattern.
+	AllGatherMode CommMode = iota
+	// HaloMode exchanges only the boundary rows that neighbouring
+	// blocks actually couple to — valid for banded matrices (the
+	// structural problems minikab targets), far less traffic.
+	HaloMode
+)
+
+// String names the mode.
+func (m CommMode) String() string {
+	switch m {
+	case AllGatherMode:
+		return "allgather"
+	case HaloMode:
+		return "halo"
+	default:
+		return fmt.Sprintf("commmode(%d)", int(m))
+	}
+}
+
+// Bandwidth computes the half-bandwidth of a matrix: the maximum |i-j|
+// over stored entries. HaloMode is valid when each rank's block is at
+// least this tall.
+func Bandwidth(a *sparse.CSR) int {
+	band := 0
+	for i := 0; i < a.N; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d := i - int(a.ColIdx[p])
+			if d < 0 {
+				d = -d
+			}
+			if d > band {
+				band = d
+			}
+		}
+	}
+	return band
+}
+
+// DistributedCGMode is DistributedCG with a selectable communication
+// approach. HaloMode requires the matrix bandwidth to fit within each
+// neighbour's block.
+func DistributedCGMode(r *simmpi.Rank, a *sparse.CSR, b []float64, maxIter int, tol float64, mode CommMode) ([]float64, int, error) {
+	if mode == AllGatherMode {
+		return DistributedCG(r, a, b, maxIter, tol)
+	}
+	n := a.N
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("minikab: rhs length %d, want %d", len(b), n)
+	}
+	p := r.Size()
+	lo, hi := blockRange(n, p, r.ID())
+	myRows := hi - lo
+	band := Bandwidth(a)
+	// Halo validity: neighbours must own every coupled row.
+	for other := 0; other < p; other++ {
+		olo, ohi := blockRange(n, p, other)
+		if ohi-olo < band && p > 1 {
+			return nil, 0, fmt.Errorf("minikab: halo mode needs blocks ≥ bandwidth %d, rank %d has %d rows",
+				band, other, ohi-olo)
+		}
+	}
+
+	meterVec := func(k float64) {
+		r.Compute(perfmodel.WorkProfile{
+			Class: perfmodel.VectorOp,
+			Flops: units.Flops(2 * k * float64(myRows)),
+			Bytes: units.Bytes(24 * k * float64(myRows)),
+			Calls: 1,
+		})
+	}
+	meterSpMV := func() {
+		nnz := float64(a.RowPtr[hi] - a.RowPtr[lo])
+		r.Compute(perfmodel.WorkProfile{
+			Class: perfmodel.SpMV,
+			Flops: units.Flops(2 * nnz),
+			Bytes: units.Bytes(12 * nnz),
+			Calls: 1,
+		})
+	}
+
+	// Halo exchange of the search direction's boundary rows: send the
+	// top `band` rows down and the bottom `band` rows up, receive the
+	// neighbours' counterparts. The extended vector covers
+	// [lo-band, hi+band) clipped to the domain.
+	extLo := lo - band
+	if extLo < 0 {
+		extLo = 0
+	}
+	extHi := hi + band
+	if extHi > n {
+		extHi = n
+	}
+	ext := make([]float64, extHi-extLo)
+	const tagDown, tagUp = 31, 32
+	exchange := func(local []float64) {
+		if r.ID() > 0 {
+			top := band
+			if top > myRows {
+				top = myRows
+			}
+			r.SendFloats(r.ID()-1, tagDown, append([]float64(nil), local[:top]...))
+		}
+		if r.ID() < p-1 {
+			bot := band
+			if bot > myRows {
+				bot = myRows
+			}
+			r.SendFloats(r.ID()+1, tagUp, append([]float64(nil), local[myRows-bot:]...))
+		}
+		copy(ext[lo-extLo:], local)
+		if r.ID() > 0 {
+			lowRows := r.RecvFloats(r.ID()-1, tagUp)
+			copy(ext[lo-extLo-len(lowRows):lo-extLo], lowRows)
+		}
+		if r.ID() < p-1 {
+			highRows := r.RecvFloats(r.ID()+1, tagDown)
+			copy(ext[hi-extLo:], highRows)
+		}
+	}
+
+	x := make([]float64, myRows)
+	res := append([]float64(nil), b[lo:hi]...)
+	pDir := append([]float64(nil), res...)
+	ap := make([]float64, myRows)
+
+	dotGlobal := func(u, v []float64) float64 {
+		s := linalg.Dot(u, v)
+		meterVec(0.5)
+		return r.AllreduceScalar(s, simmpi.OpSum)
+	}
+	normB2 := dotGlobal(res, res)
+	if normB2 == 0 {
+		full := make([]float64, n)
+		return full, 0, nil
+	}
+	rr := normB2
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		exchange(pDir)
+		for i := lo; i < hi; i++ {
+			var s float64
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				s += a.Vals[q] * ext[int(a.ColIdx[q])-extLo]
+			}
+			ap[i-lo] = s
+		}
+		meterSpMV()
+		pap := dotGlobal(pDir, ap)
+		if pap <= 0 {
+			break
+		}
+		alpha := rr / pap
+		linalg.Axpy(alpha, pDir, x)
+		linalg.Axpy(-alpha, ap, res)
+		meterVec(2)
+		iters = it + 1
+		rrNew := dotGlobal(res, res)
+		if rrNew/normB2 < tol*tol {
+			rr = rrNew
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		linalg.Waxpby(1, res, beta, pDir, pDir)
+		meterVec(1)
+	}
+	// Assemble the full solution on every rank for comparison parity
+	// with AllGatherMode.
+	blockLen := n/p + 1
+	contrib := make([]float64, blockLen)
+	copy(contrib, x)
+	all := r.Allgather(contrib)
+	full := make([]float64, n)
+	for rank := 0; rank < p; rank++ {
+		rlo, rhi := blockRange(n, p, rank)
+		copy(full[rlo:rhi], all[rank*blockLen:rank*blockLen+(rhi-rlo)])
+	}
+	return full, iters, nil
+}

@@ -1,0 +1,119 @@
+package minikab
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"a64fxbench/internal/linalg"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/sparse"
+)
+
+func TestCommModeString(t *testing.T) {
+	if AllGatherMode.String() != "allgather" || HaloMode.String() != "halo" {
+		t.Error("mode names wrong")
+	}
+	if CommMode(9).String() != "commmode(9)" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// Tridiagonal: bandwidth 1.
+	a, err := sparse.RandomSPD(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Bandwidth(a); got != 1 {
+		t.Errorf("tridiagonal bandwidth = %d", got)
+	}
+	// Structural spec: bandwidth = coupling to the neighbouring plane.
+	spec := sparse.StructuralSpec{NX: 3, NY: 3, NZ: 4, DofPerNode: 2}
+	m, err := spec.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bandwidth(m)
+	// One node plane is 3×3 nodes ×2 dof = 18; coupling reaches the
+	// diagonally adjacent node of the next plane.
+	if b < 18 || b > 27 {
+		t.Errorf("structural bandwidth = %d", b)
+	}
+}
+
+// TestHaloModeMatchesAllGather: both communication approaches produce
+// the same solution, and halo mode moves fewer bytes.
+func TestHaloModeMatchesAllGather(t *testing.T) {
+	spec := sparse.StructuralSpec{NX: 4, NY: 4, NZ: 8, DofPerNode: 2}
+	a, err := spec.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = math.Cos(0.03 * float64(i))
+	}
+	b := make([]float64, a.N)
+	a.SpMV(xTrue, b)
+
+	run := func(mode CommMode, procs int) ([]float64, int64) {
+		var sol []float64
+		var mu sync.Mutex
+		rep, err := simmpi.Run(distJob(procs, min(procs, 2)), func(r *simmpi.Rank) error {
+			x, iters, err := DistributedCGMode(r, a, b, 500, 1e-10, mode)
+			if err != nil {
+				return err
+			}
+			if iters == 0 {
+				return fmt.Errorf("no iterations")
+			}
+			mu.Lock()
+			if r.ID() == 0 {
+				sol = x
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v procs=%d: %v", mode, procs, err)
+		}
+		return sol, int64(rep.TotalBytesSent)
+	}
+
+	for _, procs := range []int{2, 4} {
+		ag, agBytes := run(AllGatherMode, procs)
+		halo, haloBytes := run(HaloMode, procs)
+		if d := linalg.AbsDiffMax(ag, halo); d > 1e-8 {
+			t.Errorf("procs=%d: modes disagree by %v", procs, d)
+		}
+		if d := linalg.AbsDiffMax(halo, xTrue); d > 1e-6 {
+			t.Errorf("procs=%d: halo solution error %v", procs, d)
+		}
+		if haloBytes >= agBytes {
+			t.Errorf("procs=%d: halo mode (%d B) should move less than allgather (%d B)",
+				procs, haloBytes, agBytes)
+		}
+	}
+}
+
+func TestHaloModeRejectsTooManyRanks(t *testing.T) {
+	// Blocks smaller than the bandwidth are rejected.
+	spec := sparse.StructuralSpec{NX: 4, NY: 4, NZ: 4, DofPerNode: 2}
+	a, err := spec.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	_, err = simmpi.Run(distJob(8, 2), func(r *simmpi.Rank) error {
+		_, _, err := DistributedCGMode(r, a, b, 10, 1e-10, HaloMode)
+		if err == nil {
+			return fmt.Errorf("expected bandwidth rejection")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package minikab
+
+import (
+	"fmt"
+	"math"
+
+	"a64fxbench/internal/linalg"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/sparse"
+	"a64fxbench/internal/units"
+)
+
+// DistributedCG runs minikab's CG solve for real across the simmpi
+// runtime: the matrix rows are block-partitioned over the ranks, each
+// rank computes its own SpMV rows and partial reductions, and actual
+// float64 payloads move through the simulated network (allgather of the
+// search direction, allreduce of the scalars). It returns the full
+// solution vector (identical on every rank) and the iteration count.
+//
+// This is the end-to-end integration path: the same runtime that meters
+// the paper-scale benchmarks here carries real data and must produce
+// exactly the same solution as the serial solver.
+func DistributedCG(r *simmpi.Rank, a *sparse.CSR, b []float64, maxIter int, tol float64) ([]float64, int, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("minikab: rhs length %d, want %d", len(b), n)
+	}
+	p := r.Size()
+	// Row block for this rank: even partition with remainder up front.
+	lo, hi := blockRange(n, p, r.ID())
+	myRows := hi - lo
+
+	// meter charges the virtual clock for the real work done.
+	meterSpMV := func() {
+		nnz := float64(a.RowPtr[hi] - a.RowPtr[lo])
+		r.Compute(perfmodel.WorkProfile{
+			Class: perfmodel.SpMV,
+			Flops: units.Flops(2 * nnz),
+			Bytes: units.Bytes(12 * nnz),
+			Calls: 1,
+		})
+	}
+	meterVec := func(k float64) {
+		r.Compute(perfmodel.WorkProfile{
+			Class: perfmodel.VectorOp,
+			Flops: units.Flops(2 * k * float64(myRows)),
+			Bytes: units.Bytes(24 * k * float64(myRows)),
+			Calls: 1,
+		})
+	}
+
+	// Fixed-length allgather blocks (padded to the largest block).
+	blockLen := n/p + 1
+	gatherX := func(local []float64) []float64 {
+		contrib := make([]float64, blockLen)
+		copy(contrib, local)
+		all := r.Allgather(contrib)
+		full := make([]float64, n)
+		for rank := 0; rank < p; rank++ {
+			rlo, rhi := blockRange(n, p, rank)
+			copy(full[rlo:rhi], all[rank*blockLen:rank*blockLen+(rhi-rlo)])
+		}
+		return full
+	}
+
+	// Local state over this rank's rows.
+	x := make([]float64, myRows)
+	res := append([]float64(nil), b[lo:hi]...) // r = b - A·0
+	pDir := append([]float64(nil), res...)
+	ap := make([]float64, myRows)
+
+	dotLocal := func(u, v []float64) float64 {
+		s := linalg.Dot(u, v)
+		meterVec(0.5)
+		return r.AllreduceScalar(s, simmpi.OpSum)
+	}
+
+	normB2 := dotLocal(res, res)
+	if normB2 == 0 {
+		return gatherX(x), 0, nil
+	}
+	rr := normB2
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		// Assemble the full search direction, then apply local rows.
+		fullP := gatherX(pDir)
+		for i := lo; i < hi; i++ {
+			var s float64
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				s += a.Vals[q] * fullP[a.ColIdx[q]]
+			}
+			ap[i-lo] = s
+		}
+		meterSpMV()
+		pap := dotLocal(pDir, ap)
+		if pap <= 0 {
+			break
+		}
+		alpha := rr / pap
+		linalg.Axpy(alpha, pDir, x)
+		linalg.Axpy(-alpha, ap, res)
+		meterVec(2)
+		iters = it + 1
+		rrNew := dotLocal(res, res)
+		if math.Sqrt(rrNew/normB2) < tol {
+			rr = rrNew
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		linalg.Waxpby(1, res, beta, pDir, pDir)
+		meterVec(1)
+	}
+	return gatherX(x), iters, nil
+}
+
+// blockRange computes rank `id`'s row interval of an n-row matrix over p
+// ranks, remainder rows going to the first ranks.
+func blockRange(n, p, id int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = id*base + min(id, rem)
+	size := base
+	if id < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package minikab
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/sparse"
+)
+
+// --- Numerical validation ---
+
+func TestCGConverges(t *testing.T) {
+	spec := sparse.StructuralSpec{NX: 6, NY: 6, NZ: 6, DofPerNode: 3}
+	stats, err := VerifySolve(spec, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("CG did not converge: relres %v after %d iters",
+			stats.RelativeResidual, stats.Iterations)
+	}
+}
+
+func TestCGJacobiHelps(t *testing.T) {
+	spec := sparse.StructuralSpec{NX: 5, NY: 5, NZ: 5, DofPerNode: 2}
+	a, err := spec.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	_, plain := CG(a, b, 300, 1e-10, false)
+	_, jacobi := CG(a, b, 300, 1e-10, true)
+	if !jacobi.Converged {
+		t.Fatal("Jacobi CG did not converge")
+	}
+	if plain.Converged && jacobi.Iterations > plain.Iterations+10 {
+		t.Errorf("Jacobi (%d iters) much worse than plain (%d)",
+			jacobi.Iterations, plain.Iterations)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a, _ := sparse.RandomSPD(20, 4, 1)
+	x, stats := CG(a, make([]float64, 20), 10, 1e-10, false)
+	if !stats.Converged {
+		t.Error("zero RHS should converge")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("zero RHS should give zero solution")
+		}
+	}
+}
+
+// --- Metered benchmark ---
+
+// TestTableVSingleCore pins the single-core runtimes to the paper's
+// Table V within 5%.
+func TestTableVSingleCore(t *testing.T) {
+	paper := map[arch.ID]float64{
+		arch.A64FX:   1182,
+		arch.NGIO:    1269,
+		arch.Fulhame: 2415,
+	}
+	for id, want := range paper {
+		res, err := Run(Config{System: arch.MustGet(id), Nodes: 1, RanksPerNode: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rel := math.Abs(res.Seconds-want) / want; rel > 0.05 {
+			t.Errorf("%s single-core = %.0f s, paper %.0f (%.1f%% off)",
+				id, res.Seconds, want, rel*100)
+		}
+	}
+}
+
+// TestTableVOrdering pins the paper's headline: A64FX 7%-ish faster than
+// NGIO and just over 2× faster than Fulhame on one core.
+func TestTableVOrdering(t *testing.T) {
+	a, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, RanksPerNode: 1})
+	n, _ := Run(Config{System: arch.MustGet(arch.NGIO), Nodes: 1, RanksPerNode: 1})
+	f, _ := Run(Config{System: arch.MustGet(arch.Fulhame), Nodes: 1, RanksPerNode: 1})
+	if !(a.Seconds < n.Seconds && n.Seconds < f.Seconds) {
+		t.Fatalf("ordering wrong: %v %v %v", a.Seconds, n.Seconds, f.Seconds)
+	}
+	if ratio := f.Seconds / a.Seconds; ratio < 1.8 || ratio > 2.4 {
+		t.Errorf("Fulhame/A64FX ratio = %.2f, paper says ≈2.04", ratio)
+	}
+	if ratio := n.Seconds / a.Seconds; ratio < 1.02 || ratio > 1.2 {
+		t.Errorf("NGIO/A64FX ratio = %.2f, paper says ≈1.07", ratio)
+	}
+}
+
+// TestFigure1MemoryConstraint: plain MPI cannot fully populate two A64FX
+// nodes (the largest feasible plain-MPI run is 48 processes).
+func TestFigure1MemoryConstraint(t *testing.T) {
+	sys := arch.MustGet(arch.A64FX)
+	full := Config{System: sys, Nodes: 2, RanksPerNode: 48}
+	if FitsMemory(full) {
+		t.Error("96 plain-MPI ranks should not fit 2 A64FX nodes")
+	}
+	if _, err := Run(full); err == nil || !strings.Contains(err.Error(), "node has") {
+		t.Errorf("expected memory error, got %v", err)
+	}
+	half := Config{System: sys, Nodes: 2, RanksPerNode: 24}
+	if !FitsMemory(half) {
+		t.Error("48 plain-MPI ranks should fit 2 A64FX nodes")
+	}
+	hybrid := Config{System: sys, Nodes: 2, RanksPerNode: 4, ThreadsPerRank: 12}
+	if !FitsMemory(hybrid) {
+		t.Error("4×12 hybrid should fit easily")
+	}
+}
+
+// TestFigure1FullCoresBeatUnderpopulated: using all 96 cores (hybrid)
+// beats the memory-limited 48-process plain MPI run.
+func TestFigure1FullCoresBeatUnderpopulated(t *testing.T) {
+	sys := arch.MustGet(arch.A64FX)
+	iter := 50
+	plain, err := Run(Config{System: sys, Nodes: 2, RanksPerNode: 24, Iterations: iter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Run(Config{System: sys, Nodes: 2, RanksPerNode: 4, ThreadsPerRank: 12, Iterations: iter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Seconds >= plain.Seconds {
+		t.Errorf("4×12 (%v s) should beat 24×1 (%v s)", best.Seconds, plain.Seconds)
+	}
+}
+
+// TestFigure1HybridOrdering: among full-96-core configurations, fewer
+// ranks with more threads is never slower (collective participation
+// shrinks), making 4×12 — one rank per CMG — the best option, as the
+// paper finds.
+func TestFigure1HybridOrdering(t *testing.T) {
+	sys := arch.MustGet(arch.A64FX)
+	iter := 50
+	var prev float64
+	for i, c := range []struct{ rpn, tpr int }{{24, 2}, {16, 3}, {8, 6}, {4, 12}} {
+		res, err := Run(Config{System: sys, Nodes: 2, RanksPerNode: c.rpn, ThreadsPerRank: c.tpr, Iterations: iter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Seconds > prev*1.001 {
+			t.Errorf("config %dx%d (%.4f s) slower than previous (%.4f s)",
+				c.rpn, c.tpr, res.Seconds, prev)
+		}
+		prev = res.Seconds
+	}
+}
+
+// TestFigure2Shapes: A64FX outperforms Fulhame per node across the
+// figure's range, while Fulhame's parallel efficiency is at least as good.
+func TestFigure2Shapes(t *testing.T) {
+	iter := 100
+	a2cfg := BestA64FXConfig(2)
+	a2cfg.Iterations = iter
+	a8cfg := BestA64FXConfig(8)
+	a8cfg.Iterations = iter
+	f1cfg := FulhameConfig(1)
+	f1cfg.Iterations = iter
+	f6cfg := FulhameConfig(6)
+	f6cfg.Iterations = iter
+	a2, err := Run(a2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := Run(a8cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Run(f1cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := Run(f6cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node-for-node comparison at overlapping scales (§VI.A: "even
+	// comparing node to node performance the A64FX is still
+	// significantly faster").
+	perNodeA := a2.Seconds * 2
+	perNodeF := f1.Seconds
+	if perNodeA*1.5 > perNodeF {
+		t.Errorf("A64FX per-node advantage too small: %v vs %v", perNodeA, perNodeF)
+	}
+	// Fulhame parallel efficiency ≥ A64FX parallel efficiency.
+	peA := a2.Seconds / a8.Seconds / 4
+	peF := f1.Seconds / f6.Seconds / 6
+	if peF < peA-0.02 {
+		t.Errorf("Fulhame PE (%.3f) should not trail A64FX PE (%.3f)", peF, peA)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing system should fail")
+	}
+	sys := arch.MustGet(arch.A64FX)
+	if _, err := Run(Config{System: sys, RanksPerNode: 48, ThreadsPerRank: 2}); err == nil {
+		t.Error("oversubscription should fail")
+	}
+}
+
+func TestBenchmark1Constants(t *testing.T) {
+	m := Benchmark1()
+	if m.Rows != 9573984 || m.NNZ != 696096138 {
+		t.Errorf("Benchmark1 constants drifted: %+v", m)
+	}
+	if m.HaloDof != 147*147*3 {
+		t.Errorf("halo dof = %d", m.HaloDof)
+	}
+}
+
+func TestMemoryModelMonotonicity(t *testing.T) {
+	sys := arch.MustGet(arch.A64FX)
+	// More ranks per node always needs more memory (fixed state
+	// dominates the shrinking share).
+	prev := MemoryPerNode(Config{System: sys, Nodes: 2, RanksPerNode: 1})
+	for rpn := 2; rpn <= 48; rpn *= 2 {
+		cur := MemoryPerNode(Config{System: sys, Nodes: 2, RanksPerNode: rpn})
+		if cur <= prev {
+			t.Errorf("memory not increasing at rpn=%d: %v vs %v", rpn, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,72 @@
+package nekbone
+
+import (
+	"fmt"
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// BenchmarkAx runs the real spectral-element operator at the paper's
+// order (16) and a smaller one for scaling reference.
+func BenchmarkAx(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("order=%d", n), func(b *testing.B) {
+			e, err := NewElement(n, 1, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := make([]float64, e.Points())
+			w := make([]float64, e.Points())
+			for i := range u {
+				u[i] = float64(i % 17)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Ax(u, w)
+			}
+			b.ReportMetric(AxFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkElementPoissonSolve(b *testing.B) {
+	e, err := NewElement(8, 1, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, e.Points())
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveElementPoisson(e, rhs, 50, 1e-6)
+	}
+}
+
+func BenchmarkGLLPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GLLPoints(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeteredNode measures the simulation cost of a full node-level
+// metered Nekbone run (not the modelled machine time — the wall time of
+// the simulator itself).
+func BenchmarkMeteredNode(b *testing.B) {
+	cfg := Config{System: benchSystem(b), Nodes: 1, Iterations: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSystem fetches the A64FX model for simulator-cost benchmarks.
+func benchSystem(b *testing.B) *arch.System {
+	b.Helper()
+	return arch.MustGet(arch.A64FX)
+}

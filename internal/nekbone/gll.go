@@ -1,0 +1,105 @@
+// Package nekbone implements the Nekbone mini-app: the principal
+// computational kernel of the Nek5000 spectral-element Navier-Stokes
+// solver — a conjugate-gradient Poisson solve whose `ax` kernel applies
+// the element-local stiffness operator with small tensor-product
+// contractions (§VI.B of the paper).
+//
+// The element operator is real spectral-element numerics on
+// Gauss-Lobatto-Legendre points, validated in the tests; the benchmark
+// runs (Table VI node performance with and without fast math, Figure 3
+// single-node core scaling, Table VII inter-node parallel efficiency)
+// meter that kernel at the paper's configuration: 200 local elements of
+// polynomial order 16×16×16 per rank, weak scaling.
+package nekbone
+
+import (
+	"fmt"
+	"math"
+
+	"a64fxbench/internal/linalg"
+)
+
+// legendre evaluates the Legendre polynomial P_n and its derivative at x
+// using the three-term recurrence.
+func legendre(n int, x float64) (p, dp float64) {
+	if n == 0 {
+		return 1, 0
+	}
+	pPrev, p := 1.0, x
+	dpPrev, dp := 0.0, 1.0
+	for k := 2; k <= n; k++ {
+		fk := float64(k)
+		pNext := ((2*fk-1)*x*p - (fk-1)*pPrev) / fk
+		dpNext := dpPrev + (2*fk-1)*p
+		pPrev, p = p, pNext
+		dpPrev, dp = dp, dpNext
+	}
+	return p, dp
+}
+
+// GLLPoints returns the n Gauss-Lobatto-Legendre nodes on [-1, 1] and
+// their quadrature weights. n must be ≥ 2.
+func GLLPoints(n int) (x, w []float64, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("nekbone: need ≥2 GLL points, got %d", n)
+	}
+	N := n - 1
+	x = make([]float64, n)
+	w = make([]float64, n)
+	x[0], x[n-1] = -1, 1
+	// Interior nodes: roots of P'_N, bracketed by Chebyshev initial
+	// guesses and polished with Newton on (1-x²)P'_N(x).
+	for i := 1; i < n-1; i++ {
+		xi := math.Cos(math.Pi * float64(i) / float64(N))
+		xi = -xi // ascending order
+		for it := 0; it < 100; it++ {
+			_, dp := legendre(N, xi)
+			// f = (1-x²) P'_N; f' = -2x P'_N + (1-x²) P''_N.
+			// Use the Legendre ODE: (1-x²)P'' = 2xP' - N(N+1)P.
+			p, _ := legendre(N, xi)
+			f := (1 - xi*xi) * dp
+			fp := -2*xi*dp + (2*xi*dp - float64(N)*float64(N+1)*p)
+			if fp == 0 {
+				break
+			}
+			step := f / fp
+			xi -= step
+			if math.Abs(step) < 1e-15 {
+				break
+			}
+		}
+		x[i] = xi
+	}
+	for i := 0; i < n; i++ {
+		p, _ := legendre(N, x[i])
+		w[i] = 2 / (float64(N) * float64(N+1) * p * p)
+	}
+	return x, w, nil
+}
+
+// DerivativeMatrix builds the n×n spectral differentiation matrix on the
+// GLL nodes: (D u)_i = u'(x_i) for polynomial interpolants.
+func DerivativeMatrix(x []float64) *linalg.Matrix {
+	n := len(x)
+	N := n - 1
+	d := linalg.NewMatrix(n, n)
+	pn := make([]float64, n)
+	for i := range x {
+		pn[i], _ = legendre(N, x[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j && i == 0:
+				d.Set(i, j, -float64(N)*float64(N+1)/4)
+			case i == j && i == N:
+				d.Set(i, j, float64(N)*float64(N+1)/4)
+			case i == j:
+				d.Set(i, j, 0)
+			default:
+				d.Set(i, j, pn[i]/(pn[j]*(x[i]-x[j])))
+			}
+		}
+	}
+	return d
+}

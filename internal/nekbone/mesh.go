@@ -1,0 +1,200 @@
+package nekbone
+
+import (
+	"fmt"
+	"math"
+
+	"a64fxbench/internal/linalg"
+)
+
+// Mesh is a row of E conforming spectral elements along x (Nekbone's
+// linear geometry), each of order n on a 2×2×2 box, with element-local
+// storage and direct-stiffness summation (dssum) across the shared
+// faces — the real multi-element machinery behind the benchmark.
+type Mesh struct {
+	// E is the element count; N the points per direction.
+	E, N int
+	// elems holds the per-element operators (identical geometry).
+	elems []*Element
+	// mult is the dof multiplicity (2 on shared faces, 1 elsewhere),
+	// used to weight global reductions over the redundant local
+	// storage.
+	mult []float64
+	// x, w are the 1D GLL points and weights, kept for coordinates.
+	x []float64
+}
+
+// NewMesh builds the element row. Order n must be ≥ 2, elements ≥ 1.
+func NewMesh(elements, n int) (*Mesh, error) {
+	if elements < 1 {
+		return nil, fmt.Errorf("nekbone: need ≥1 element, got %d", elements)
+	}
+	e0, err := NewElement(n, 1, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	x, _, err := GLLPoints(n)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{E: elements, N: n, x: x}
+	for e := 0; e < elements; e++ {
+		m.elems = append(m.elems, e0) // identical geometry: share operators
+	}
+	n3 := n * n * n
+	m.mult = make([]float64, elements*n3)
+	for i := range m.mult {
+		m.mult[i] = 1
+	}
+	// Shared faces: last x-plane of element e and first x-plane of e+1.
+	for e := 0; e < elements-1; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				m.mult[m.idx(e, n-1, j, k)] = 2
+				m.mult[m.idx(e+1, 0, j, k)] = 2
+			}
+		}
+	}
+	return m, nil
+}
+
+// Len reports the local-storage vector length E·n³.
+func (m *Mesh) Len() int { return m.E * m.N * m.N * m.N }
+
+// idx maps (element, i, j, k) to the local-storage index.
+func (m *Mesh) idx(e, i, j, k int) int {
+	n := m.N
+	return e*n*n*n + i + n*(j+n*k)
+}
+
+// Coords returns the physical coordinates of a local dof: element e spans
+// x ∈ [2e, 2e+2]; y, z ∈ [0, 2].
+func (m *Mesh) Coords(e, i, j, k int) (x, y, z float64) {
+	return float64(2*e+1) + m.x[i], 1 + m.x[j], 1 + m.x[k]
+}
+
+// Dssum performs direct-stiffness summation: contributions on shared
+// faces are added and both copies receive the sum, restoring continuity.
+func (m *Mesh) Dssum(u []float64) {
+	n := m.N
+	for e := 0; e < m.E-1; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				a := m.idx(e, n-1, j, k)
+				b := m.idx(e+1, 0, j, k)
+				s := u[a] + u[b]
+				u[a] = s
+				u[b] = s
+			}
+		}
+	}
+}
+
+// Mask zeroes the dofs on the domain boundary (homogeneous Dirichlet):
+// the outer x faces of the first and last elements, and the y/z faces of
+// every element.
+func (m *Mesh) Mask(u []float64) {
+	n := m.N
+	for e := 0; e < m.E; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					onBoundary := j == 0 || j == n-1 || k == 0 || k == n-1 ||
+						(e == 0 && i == 0) || (e == m.E-1 && i == n-1)
+					if onBoundary {
+						u[m.idx(e, i, j, k)] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// Ax applies the global stiffness operator in local storage:
+// element-local Ax, dssum, mask. Input must be continuous and masked.
+func (m *Mesh) Ax(u, w []float64) {
+	n3 := m.N * m.N * m.N
+	for e := 0; e < m.E; e++ {
+		m.elems[e].Ax(u[e*n3:(e+1)*n3], w[e*n3:(e+1)*n3])
+	}
+	m.Dssum(w)
+	m.Mask(w)
+}
+
+// GDot is the global inner product over the redundant local storage:
+// shared dofs are weighted by 1/multiplicity so they count once.
+func (m *Mesh) GDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i] / m.mult[i]
+	}
+	return s
+}
+
+// MassApply multiplies by the diagonal (lumped GLL) mass matrix in local
+// storage and dssum-accumulates — the weak-form right-hand-side builder.
+func (m *Mesh) MassApply(f, out []float64) {
+	n3 := m.N * m.N * m.N
+	for e := 0; e < m.E; e++ {
+		el := m.elems[e]
+		for i := 0; i < n3; i++ {
+			out[e*n3+i] = el.W[i] * f[e*n3+i]
+		}
+	}
+	m.Dssum(out)
+	m.Mask(out)
+}
+
+// SolvePoisson solves -∇²u = f with homogeneous Dirichlet boundaries on
+// the mesh via CG on the spectral-element system, where f is given
+// pointwise. Returns the solution in local storage, iterations, and the
+// final relative residual.
+func (m *Mesh) SolvePoisson(f func(x, y, z float64) float64, maxIter int, tol float64) ([]float64, int, float64) {
+	n := m.N
+	total := m.Len()
+	// Build the weak-form RHS: b = dssum(M f), masked.
+	fv := make([]float64, total)
+	for e := 0; e < m.E; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x, y, z := m.Coords(e, i, j, k)
+					fv[m.idx(e, i, j, k)] = f(x, y, z)
+				}
+			}
+		}
+	}
+	b := make([]float64, total)
+	m.MassApply(fv, b)
+
+	x := make([]float64, total)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	ap := make([]float64, total)
+	rr := m.GDot(r, r)
+	normB2 := rr
+	if normB2 == 0 {
+		return x, 0, 0
+	}
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		m.Ax(p, ap)
+		pap := m.GDot(p, ap)
+		if pap <= 0 {
+			break
+		}
+		alpha := rr / pap
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, ap, r)
+		iters = it + 1
+		rrNew := m.GDot(r, r)
+		if math.Sqrt(rrNew/normB2) < tol {
+			rr = rrNew
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		linalg.Waxpby(1, r, beta, p, p)
+	}
+	return x, iters, math.Sqrt(rr / normB2)
+}

@@ -1,0 +1,182 @@
+package nekbone
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Error("0 elements should fail")
+	}
+	if _, err := NewMesh(2, 1); err == nil {
+		t.Error("order 1 should fail")
+	}
+	m, err := NewMesh(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3*64 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMeshMultiplicity(t *testing.T) {
+	m, _ := NewMesh(3, 4)
+	// Interior of each element: multiplicity 1; shared faces: 2.
+	twos := 0
+	for _, v := range m.mult {
+		switch v {
+		case 1:
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected multiplicity %v", v)
+		}
+	}
+	// 2 shared interfaces × 2 copies × 16 face points each.
+	if twos != 2*2*16 {
+		t.Errorf("shared dofs = %d, want %d", twos, 2*2*16)
+	}
+}
+
+func TestMeshDssumContinuity(t *testing.T) {
+	m, _ := NewMesh(2, 4)
+	u := make([]float64, m.Len())
+	for i := range u {
+		u[i] = float64(i)
+	}
+	m.Dssum(u)
+	// Shared dofs agree after dssum.
+	n := 4
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			a := m.idx(0, n-1, j, k)
+			b := m.idx(1, 0, j, k)
+			if u[a] != u[b] {
+				t.Fatalf("discontinuity at (%d,%d): %v vs %v", j, k, u[a], u[b])
+			}
+		}
+	}
+}
+
+func TestMeshAxSymmetric(t *testing.T) {
+	m, _ := NewMesh(3, 5)
+	total := m.Len()
+	mk := func(seed float64) []float64 {
+		v := make([]float64, total)
+		for i := range v {
+			v[i] = math.Sin(seed * float64(i+1))
+		}
+		// Continuous, masked inputs (the operator's domain).
+		m.Dssum(v)
+		for i := range v {
+			v[i] /= m.mult[i]
+		}
+		m.Mask(v)
+		return v
+	}
+	u, v := mk(0.3), mk(0.7)
+	au := make([]float64, total)
+	av := make([]float64, total)
+	m.Ax(u, au)
+	m.Ax(v, av)
+	a, b := m.GDot(v, au), m.GDot(u, av)
+	if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), 1) {
+		t.Errorf("mesh operator asymmetric: %v vs %v", a, b)
+	}
+	if q := m.GDot(u, au); q < 0 {
+		t.Errorf("u'Au = %v < 0", q)
+	}
+}
+
+// TestMeshPoissonSpectralAccuracy is the strong validation: the
+// spectral-element solution of -∇²u = f matches a smooth manufactured
+// solution to near machine precision at modest order.
+func TestMeshPoissonSpectralAccuracy(t *testing.T) {
+	const E, n = 3, 10
+	m, err := NewMesh(E, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Domain: x ∈ [0, 2E], y,z ∈ [0,2].
+	lx := float64(2 * E)
+	kx := math.Pi / lx
+	ky := math.Pi / 2
+	uExact := func(x, y, z float64) float64 {
+		return math.Sin(kx*x) * math.Sin(ky*y) * math.Sin(ky*z)
+	}
+	lambda := kx*kx + 2*ky*ky
+	f := func(x, y, z float64) float64 { return lambda * uExact(x, y, z) }
+
+	sol, iters, relres := m.SolvePoisson(f, 2000, 1e-12)
+	if relres > 1e-11 {
+		t.Fatalf("CG did not converge: %v after %d iters", relres, iters)
+	}
+	var maxErr float64
+	for e := 0; e < E; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x, y, z := m.Coords(e, i, j, k)
+					d := math.Abs(sol[m.idx(e, i, j, k)] - uExact(x, y, z))
+					if d > maxErr {
+						maxErr = d
+					}
+				}
+			}
+		}
+	}
+	// Spectral accuracy: order 10 on this smooth solution is ≲1e-5.
+	if maxErr > 1e-5 {
+		t.Errorf("solution error %v too large for spectral order %d", maxErr, n)
+	}
+}
+
+func TestMeshPoissonConvergesWithOrder(t *testing.T) {
+	// Error drops sharply as polynomial order rises (p-refinement).
+	errAt := func(n int) float64 {
+		m, err := NewMesh(2, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lx := 4.0
+		kx := math.Pi / lx
+		ky := math.Pi / 2
+		uE := func(x, y, z float64) float64 {
+			return math.Sin(kx*x) * math.Sin(ky*y) * math.Sin(ky*z)
+		}
+		lambda := kx*kx + 2*ky*ky
+		sol, _, _ := m.SolvePoisson(func(x, y, z float64) float64 { return lambda * uE(x, y, z) }, 2000, 1e-12)
+		var maxErr float64
+		for e := 0; e < 2; e++ {
+			for k := 0; k < n; k++ {
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						x, y, z := m.Coords(e, i, j, k)
+						if d := math.Abs(sol[m.idx(e, i, j, k)] - uE(x, y, z)); d > maxErr {
+							maxErr = d
+						}
+					}
+				}
+			}
+		}
+		return maxErr
+	}
+	e4, e8 := errAt(4), errAt(8)
+	if e8 > e4/50 {
+		t.Errorf("p-refinement too weak: order 4 err %v, order 8 err %v", e4, e8)
+	}
+}
+
+func TestMeshGDotCountsSharedOnce(t *testing.T) {
+	m, _ := NewMesh(2, 4)
+	ones := make([]float64, m.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	// Unique dofs: 2·4³ − 16 shared = 112.
+	if got := m.GDot(ones, ones); got != 112 {
+		t.Errorf("GDot = %v, want 112", got)
+	}
+}

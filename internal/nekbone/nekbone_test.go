@@ -1,0 +1,350 @@
+package nekbone
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/linalg"
+)
+
+// --- GLL machinery ---
+
+func TestGLLPointsSmall(t *testing.T) {
+	// n=2: endpoints only, weights 1,1.
+	x, w, err := GLLPoints(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != -1 || x[1] != 1 || w[0] != 1 || w[1] != 1 {
+		t.Errorf("n=2 GLL wrong: x=%v w=%v", x, w)
+	}
+	// n=3: -1, 0, 1 with weights 1/3, 4/3, 1/3.
+	x, w, _ = GLLPoints(3)
+	if math.Abs(x[1]) > 1e-14 {
+		t.Errorf("n=3 midpoint = %v", x[1])
+	}
+	if math.Abs(w[0]-1.0/3) > 1e-14 || math.Abs(w[1]-4.0/3) > 1e-14 {
+		t.Errorf("n=3 weights = %v", w)
+	}
+	if _, _, err := GLLPoints(1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestGLLQuadratureExact(t *testing.T) {
+	// n-point GLL integrates polynomials up to degree 2n-3 exactly.
+	x, w, err := GLLPoints(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∫₋₁¹ t^k dt = 0 (odd) or 2/(k+1) (even).
+	for k := 0; k <= 2*6-3; k++ {
+		var s float64
+		for i := range x {
+			s += w[i] * math.Pow(x[i], float64(k))
+		}
+		want := 0.0
+		if k%2 == 0 {
+			want = 2 / float64(k+1)
+		}
+		if math.Abs(s-want) > 1e-12 {
+			t.Errorf("degree %d: quadrature %v, want %v", k, s, want)
+		}
+	}
+}
+
+func TestGLLWeightsSumToTwo(t *testing.T) {
+	for n := 2; n <= 17; n++ {
+		_, w, err := GLLPoints(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, v := range w {
+			s += v
+		}
+		if math.Abs(s-2) > 1e-12 {
+			t.Errorf("n=%d: weights sum %v", n, s)
+		}
+	}
+}
+
+func TestDerivativeMatrixExactOnPolynomials(t *testing.T) {
+	n := 8
+	x, _, err := GLLPoints(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DerivativeMatrix(x)
+	// Differentiate t³ - 2t: derivative 3t² - 2, exact for degree < n.
+	u := make([]float64, n)
+	want := make([]float64, n)
+	for i, xi := range x {
+		u[i] = xi*xi*xi - 2*xi
+		want[i] = 3*xi*xi - 2
+	}
+	got := make([]float64, n)
+	d.MulVec(u, got)
+	if diff := linalg.AbsDiffMax(got, want); diff > 1e-11 {
+		t.Errorf("derivative error %v", diff)
+	}
+	// Derivative of a constant is zero.
+	linalg.Fill(u, 7)
+	d.MulVec(u, got)
+	if linalg.MaxAbs(got) > 1e-11 {
+		t.Errorf("constant derivative %v", linalg.MaxAbs(got))
+	}
+}
+
+// --- Element operator ---
+
+func TestAxAnnihilatesConstants(t *testing.T) {
+	// The Laplacian of a constant field is zero (pure Neumann operator).
+	e, err := NewElement(8, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, e.Points())
+	linalg.Fill(u, 3.5)
+	w := make([]float64, e.Points())
+	e.Ax(u, w)
+	if m := linalg.MaxAbs(w); m > 1e-10 {
+		t.Errorf("Ax(const) = %v, want 0", m)
+	}
+}
+
+func TestAxSymmetric(t *testing.T) {
+	// v'Au == u'Av for the self-adjoint operator.
+	e, err := NewElement(5, 1, 0.7, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := e.Points()
+	u := make([]float64, n3)
+	v := make([]float64, n3)
+	for i := range u {
+		u[i] = math.Sin(float64(i) * 0.3)
+		v[i] = math.Cos(float64(i) * 0.7)
+	}
+	au := make([]float64, n3)
+	av := make([]float64, n3)
+	e.Ax(u, au)
+	e.Ax(v, av)
+	a, b := linalg.Dot(v, au), linalg.Dot(u, av)
+	if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), 1) {
+		t.Errorf("asymmetry: %v vs %v", a, b)
+	}
+}
+
+func TestAxPositiveSemiDefinite(t *testing.T) {
+	e, _ := NewElement(6, 1, 1, 1)
+	n3 := e.Points()
+	f := func(seed int64) bool {
+		u := make([]float64, n3)
+		s := seed
+		for i := range u {
+			s = s*6364136223846793005 + 1442695040888963407
+			u[i] = float64(s%1000)/500 - 1
+		}
+		w := make([]float64, n3)
+		e.Ax(u, w)
+		return linalg.Dot(u, w) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementPoissonSolve(t *testing.T) {
+	// CG with the real ax kernel converges on the masked element.
+	e, err := NewElement(8, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := e.Points()
+	b := make([]float64, n3)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.21)
+	}
+	_, iters, res := SolveElementPoisson(e, b, 500, 1e-9)
+	if res > 1e-9 {
+		t.Errorf("CG residual %v after %d iters", res, iters)
+	}
+}
+
+func TestNewElementValidation(t *testing.T) {
+	if _, err := NewElement(1, 1, 1, 1); err == nil {
+		t.Error("order 1 should fail")
+	}
+	if _, err := NewElement(4, 0, 1, 1); err == nil {
+		t.Error("zero extent should fail")
+	}
+}
+
+func TestAxFlopsAndBytes(t *testing.T) {
+	if AxFlops(2) <= 0 || AxBytes(2) <= 0 {
+		t.Error("work formulas must be positive")
+	}
+	// Flops grow like n⁴, bytes like n³.
+	if AxFlops(16)/AxFlops(8) < 12 {
+		t.Errorf("flops growth %v, expected ≈16", AxFlops(16)/AxFlops(8))
+	}
+	if r := AxBytes(16) / AxBytes(8); r != 8 {
+		t.Errorf("bytes growth %v, expected 8", r)
+	}
+}
+
+// --- Metered benchmark ---
+
+// paperTable6 is the paper's node-level Nekbone performance.
+var paperTable6 = map[arch.ID]struct{ plain, fast float64 }{
+	arch.A64FX:   {175.74, 312.34},
+	arch.NGIO:    {127.19, 90.37},
+	arch.Fulhame: {121.63, 132.65},
+	arch.ARCHER:  {66.55, 68.22},
+}
+
+func TestTableVINodePerformance(t *testing.T) {
+	for id, want := range paperTable6 {
+		sys := arch.MustGet(id)
+		plain, err := Run(Config{System: sys, Nodes: 1, Iterations: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rel := math.Abs(plain.GFLOPs-want.plain) / want.plain; rel > 0.08 {
+			t.Errorf("%s plain = %.2f GF/s, paper %.2f", id, plain.GFLOPs, want.plain)
+		}
+		fast, err := Run(Config{System: sys, Nodes: 1, Iterations: 20, FastMath: true})
+		if err != nil {
+			t.Fatalf("%s fast: %v", id, err)
+		}
+		if rel := math.Abs(fast.GFLOPs-want.fast) / want.fast; rel > 0.08 {
+			t.Errorf("%s fast = %.2f GF/s, paper %.2f", id, fast.GFLOPs, want.fast)
+		}
+	}
+}
+
+func TestFastMathDirections(t *testing.T) {
+	// -Kfast transforms A64FX performance; the NGIO equivalent hurts.
+	a, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 10})
+	af, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 10, FastMath: true})
+	if af.GFLOPs < 1.5*a.GFLOPs {
+		t.Errorf("A64FX fast-math gain too small: %v → %v", a.GFLOPs, af.GFLOPs)
+	}
+	n, _ := Run(Config{System: arch.MustGet(arch.NGIO), Nodes: 1, Iterations: 10})
+	nf, _ := Run(Config{System: arch.MustGet(arch.NGIO), Nodes: 1, Iterations: 10, FastMath: true})
+	if nf.GFLOPs >= n.GFLOPs {
+		t.Errorf("NGIO fast math should hurt: %v → %v", n.GFLOPs, nf.GFLOPs)
+	}
+}
+
+func TestGPUComparisonClaim(t *testing.T) {
+	// §VI.B.1: at 312 GFLOP/s the A64FX with fast math sits between a
+	// P100 (~200) and above a V100 (~300).
+	fast, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 20, FastMath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.GFLOPs < 290 || fast.GFLOPs > 340 {
+		t.Errorf("A64FX fast = %.1f GF/s, paper reports 312.34", fast.GFLOPs)
+	}
+}
+
+func TestTableVIIParallelEfficiency(t *testing.T) {
+	// Weak-scaling PE stays ≥0.93 out to 16 nodes and declines with
+	// node count, as in Table VII.
+	for _, id := range []arch.ID{arch.A64FX, arch.Fulhame, arch.ARCHER} {
+		sys := arch.MustGet(id)
+		base, err := Run(Config{System: sys, Nodes: 1, Iterations: 50, FastMath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 1.01
+		for _, nodes := range []int{2, 4, 8, 16} {
+			r, err := Run(Config{System: sys, Nodes: nodes, Iterations: 50, FastMath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe := ParallelEfficiency(base, r, nodes)
+			if pe < 0.90 || pe > 1.001 {
+				t.Errorf("%s %d nodes: PE = %.3f outside Table VII range", id, nodes, pe)
+			}
+			if pe > prev+0.03 {
+				t.Errorf("%s PE increased markedly with scale: %v → %v", id, prev, pe)
+			}
+			prev = pe
+		}
+	}
+}
+
+func TestFigure3CoreScaling(t *testing.T) {
+	// Weak scaling over cores: node throughput must increase with
+	// cores on every system.
+	for _, id := range arch.IDs() {
+		sys := arch.MustGet(id)
+		var prev float64
+		for _, c := range []int{1, 2, 4, 8, sys.CoresPerNode()} {
+			r, err := Run(Config{System: sys, Nodes: 1, CoresPerNode: c, Iterations: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.GFLOPs <= prev {
+				t.Errorf("%s at %d cores: %.1f GF/s not above %.1f", id, c, r.GFLOPs, prev)
+			}
+			prev = r.GFLOPs
+		}
+	}
+}
+
+func TestFigure3IntelTailsOff(t *testing.T) {
+	// Per-core efficiency at full node vs single core: the Arm chips
+	// hold their per-core rate better than the Intel chips (§VI.B.1).
+	ratio := func(id arch.ID) float64 {
+		sys := arch.MustGet(id)
+		one, err := Run(Config{System: sys, Nodes: 1, CoresPerNode: 1, Iterations: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(Config{System: sys, Nodes: 1, Iterations: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perCoreFull := full.GFLOPs / float64(sys.CoresPerNode())
+		return perCoreFull / one.GFLOPs
+	}
+	a64fx, archer, ngio := ratio(arch.A64FX), ratio(arch.ARCHER), ratio(arch.NGIO)
+	if a64fx < archer || a64fx < ngio {
+		t.Errorf("A64FX per-core retention (%.2f) should beat Intel (%.2f, %.2f)",
+			a64fx, archer, ngio)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing system should fail")
+	}
+	sys := arch.MustGet(arch.A64FX)
+	if _, err := Run(Config{System: sys, CoresPerNode: 99}); err == nil {
+		t.Error("too many cores should fail")
+	}
+	if _, err := Run(Config{System: sys, Order: 1}); err == nil {
+		t.Error("order 1 should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{System: arch.MustGet(arch.Fulhame), Nodes: 2, Iterations: 10}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.GFLOPs != b.GFLOPs {
+		t.Error("nondeterministic run")
+	}
+}

@@ -1,0 +1,32 @@
+package opensbli
+
+import (
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// BenchmarkTGVStep measures the real compressible NS RK3 step.
+func BenchmarkTGVStep(b *testing.B) {
+	s, err := NewSolver(24, 1.4, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.InitTaylorGreen(0.1)
+	b.SetBytes(int64(5 * 8 * 24 * 24 * 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(0.001)
+	}
+}
+
+// BenchmarkMeteredTableX measures the simulator's cost for a 1-node
+// metered OpenSBLI run.
+func BenchmarkMeteredTableX(b *testing.B) {
+	cfg := Config{System: arch.MustGet(arch.Fulhame), Nodes: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package opensbli
+
+import (
+	"math"
+	"testing"
+
+	"a64fxbench/internal/arch"
+)
+
+// --- Numerical validation of the real solver ---
+
+func TestTGVMassConservation(t *testing.T) {
+	s, err := NewSolver(16, 1.4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitTaylorGreen(0.1)
+	m0 := s.TotalMass()
+	for i := 0; i < 20; i++ {
+		s.Step(0.002)
+	}
+	m1 := s.TotalMass()
+	// Conservative central differencing on a periodic grid conserves
+	// mass to round-off.
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-12 {
+		t.Errorf("mass drifted: %v → %v (rel %v)", m0, m1, rel)
+	}
+}
+
+func TestTGVKineticEnergyDecays(t *testing.T) {
+	// With viscosity, the TGV's kinetic energy decays.
+	s, err := NewSolver(16, 1.4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitTaylorGreen(0.1)
+	ke0 := s.KineticEnergy()
+	for i := 0; i < 50; i++ {
+		s.Step(0.002)
+	}
+	ke1 := s.KineticEnergy()
+	if ke1 >= ke0 {
+		t.Errorf("kinetic energy did not decay: %v → %v", ke0, ke1)
+	}
+	// Sanity: it should not have collapsed either.
+	if ke1 < 0.2*ke0 {
+		t.Errorf("kinetic energy collapsed: %v → %v", ke0, ke1)
+	}
+}
+
+func TestTGVStability(t *testing.T) {
+	// Density stays positive and bounded over a longer run.
+	s, err := NewSolver(12, 1.4, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitTaylorGreen(0.1)
+	for i := 0; i < 100; i++ {
+		s.Step(0.002)
+	}
+	for i, rho := range s.S.Rho {
+		if rho <= 0 || rho > 10 || math.IsNaN(rho) {
+			t.Fatalf("density blew up at cell %d: %v", i, rho)
+		}
+	}
+}
+
+func TestTGVInitialCondition(t *testing.T) {
+	s, _ := NewSolver(16, 1.4, 0.01)
+	s.InitTaylorGreen(0.1)
+	// Initial z-momentum is identically zero.
+	for i, mz := range s.S.MZ {
+		if mz != 0 {
+			t.Fatalf("MZ[%d] = %v", i, mz)
+		}
+	}
+	// Initial kinetic energy of the TGV on [0,2π]³ is (2π)³/8.
+	want := math.Pow(2*math.Pi, 3) / 8
+	if ke := s.KineticEnergy(); math.Abs(ke-want)/want > 0.01 {
+		t.Errorf("initial KE = %v, want %v", ke, want)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	if _, err := NewSolver(2, 1.4, 0.01); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	if _, err := NewSolver(8, 1.0, 0.01); err == nil {
+		t.Error("γ=1 should fail")
+	}
+	if _, err := NewSolver(8, 1.4, -1); err == nil {
+		t.Error("negative viscosity should fail")
+	}
+}
+
+// --- Metered benchmark ---
+
+// paperTableX is Table X: total runtime in seconds.
+var paperTableX = map[arch.ID][4]float64{
+	arch.A64FX:   {3.44, 1.89, 1.04, 0.69},
+	arch.Cirrus:  {1.90, 0.93, 0.53, 0.35},
+	arch.NGIO:    {1.18, 0.75, 0.46, 0.31},
+	arch.Fulhame: {1.17, 0.74, 0.65, 0.28},
+}
+
+func TestTableXSingleNode(t *testing.T) {
+	for id, want := range paperTableX {
+		res, err := Run(Config{System: arch.MustGet(id), Nodes: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rel := math.Abs(res.Seconds-want[0]) / want[0]; rel > 0.08 {
+			t.Errorf("%s 1 node = %.2f s, paper %.2f", id, res.Seconds, want[0])
+		}
+	}
+}
+
+func TestTableXA64FXUnderperforms(t *testing.T) {
+	// §VII.C.2: the A64FX is ≈3× slower than the fastest systems.
+	a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Run(Config{System: arch.MustGet(arch.Fulhame), Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := a.Seconds / f.Seconds; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("A64FX/Fulhame ratio = %.2f, paper says ≈2.9", ratio)
+	}
+	n, err := Run(Config{System: arch.MustGet(arch.NGIO), Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NGIO and Fulhame present very similar performance (§VII.C.2).
+	if rel := math.Abs(n.Seconds-f.Seconds) / f.Seconds; rel > 0.10 {
+		t.Errorf("NGIO (%.2f) and Fulhame (%.2f) should be close", n.Seconds, f.Seconds)
+	}
+}
+
+func TestTableXScalingMonotone(t *testing.T) {
+	for id := range paperTableX {
+		var prev float64 = math.Inf(1)
+		for _, nodes := range []int{1, 2, 4, 8} {
+			res, err := Run(Config{System: arch.MustGet(id), Nodes: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Seconds >= prev {
+				t.Errorf("%s: no speedup at %d nodes", id, nodes)
+			}
+			prev = res.Seconds
+		}
+	}
+}
+
+func TestTableXScalingSublinear(t *testing.T) {
+	// The 64³ case is too small to scale perfectly: 8-node efficiency
+	// is clearly below 1 on every system (paper: 0.52–0.62).
+	for id := range paperTableX {
+		one, err := Run(Config{System: arch.MustGet(id), Nodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eight, err := Run(Config{System: arch.MustGet(id), Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := one.Seconds / eight.Seconds / 8
+		if pe > 0.95 {
+			t.Errorf("%s scales implausibly well: 8-node PE %.2f", id, pe)
+		}
+		if pe < 0.3 {
+			t.Errorf("%s scales implausibly badly: 8-node PE %.2f", id, pe)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing system should fail")
+	}
+	if _, err := Run(Config{System: arch.MustGet(arch.A64FX), Case: Case{Grid: 2, Steps: 1}}); err == nil {
+		t.Error("tiny case should fail")
+	}
+}
+
+func TestTGVEnstrophyInitial(t *testing.T) {
+	// The initial TGV enstrophy on [0,2π]³ at unit density equals its
+	// initial kinetic energy ×3 (for the classic field, ∫|ω|² = 3∫|u|²
+	// ... with this initial condition the exact ratio is 3).
+	s, _ := NewSolver(24, 1.4, 0.01)
+	s.InitTaylorGreen(0.1)
+	ke := s.KineticEnergy()
+	en := s.Enstrophy()
+	ratio := en / ke
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("enstrophy/KE = %v, want ≈3 for the TGV initial field", ratio)
+	}
+}
+
+func TestTGVDissipationIdentity(t *testing.T) {
+	// For low-Mach viscous decay, -dKE/dt ≈ 2ν·(enstrophy-like term):
+	// check the energy decay rate is positive and scales with ν.
+	rate := func(mu float64) float64 {
+		s, _ := NewSolver(16, 1.4, mu)
+		s.InitTaylorGreen(0.1)
+		ke0 := s.KineticEnergy()
+		const steps, dt = 40, 0.002
+		for i := 0; i < steps; i++ {
+			s.Step(dt)
+		}
+		return (ke0 - s.KineticEnergy()) / (steps * dt)
+	}
+	r1, r2 := rate(0.02), rate(0.04)
+	if r1 <= 0 || r2 <= 0 {
+		t.Fatalf("decay rates must be positive: %v %v", r1, r2)
+	}
+	if ratio := r2 / r1; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("dissipation should scale ≈linearly with ν: ratio %v", ratio)
+	}
+}
+
+func TestTGVTotalEnergyConserved(t *testing.T) {
+	// Viscous dissipation converts kinetic to internal energy; the
+	// conservative total should drift only at discretisation level.
+	s, _ := NewSolver(16, 1.4, 0.02)
+	s.InitTaylorGreen(0.1)
+	e0 := s.TotalEnergy()
+	for i := 0; i < 50; i++ {
+		s.Step(0.002)
+	}
+	e1 := s.TotalEnergy()
+	if rel := math.Abs(e1-e0) / e0; rel > 0.02 {
+		t.Errorf("total energy drifted %.3f%%", rel*100)
+	}
+}
+
+func TestMeanPressurePositive(t *testing.T) {
+	s, _ := NewSolver(12, 1.4, 0.01)
+	s.InitTaylorGreen(0.1)
+	if p := s.MeanPressure(); p <= 0 {
+		t.Errorf("mean pressure = %v", p)
+	}
+}

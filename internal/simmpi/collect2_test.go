@@ -1,0 +1,84 @@
+package simmpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 3, 6} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			_, err := Run(cfg(p, min(p, 4)), func(r *Rank) error {
+				// buf[j] = rank+1 for all j; reduced sum = p(p+1)/2.
+				buf := make([]float64, 2*p)
+				for j := range buf {
+					buf[j] = float64(r.ID() + 1)
+				}
+				out := r.ReduceScatter(buf, OpSum)
+				if len(out) != 2 {
+					return fmt.Errorf("block length %d, want 2", len(out))
+				}
+				want := float64(p*(p+1)) / 2
+				if out[0] != want || out[1] != want {
+					return fmt.Errorf("rank %d got %v, want %v", r.ID(), out, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceScatterBlocks(t *testing.T) {
+	// Distinct blocks: buf block k filled with k; each rank receives
+	// p×(its own index).
+	p := 4
+	_, err := Run(cfg(p, 2), func(r *Rank) error {
+		buf := make([]float64, p)
+		for k := 0; k < p; k++ {
+			buf[k] = float64(k)
+		}
+		out := r.ReduceScatter(buf, OpSum)
+		want := float64(p * r.ID())
+		if out[0] != want {
+			return fmt.Errorf("rank %d got %v, want %v", r.ID(), out[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterIndivisiblePanics(t *testing.T) {
+	_, err := Run(cfg(3, 1), func(r *Rank) error {
+		r.ReduceScatter(make([]float64, 4), OpSum)
+		return nil
+	})
+	if err == nil {
+		t.Error("indivisible buffer should error")
+	}
+}
+
+func TestExScan(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			_, err := Run(cfg(p, min(p, 4)), func(r *Rank) error {
+				out := r.ExScan([]float64{float64(r.ID() + 1)}, OpSum)
+				// Exclusive prefix sum of 1..p at rank i is i(i+1)/2.
+				want := float64(r.ID()*(r.ID()+1)) / 2
+				if out[0] != want {
+					return fmt.Errorf("rank %d got %v, want %v", r.ID(), out[0], want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

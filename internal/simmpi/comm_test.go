@@ -1,0 +1,131 @@
+package simmpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	// 8 ranks split into even/odd communicators of 4.
+	_, err := Run(cfg(8, 2), func(r *Rank) error {
+		c := r.Split(r.ID()%2, r.ID())
+		if c.Size() != 4 {
+			return fmt.Errorf("rank %d: comm size %d", r.ID(), c.Size())
+		}
+		// Comm rank follows key order: world 0,2,4,6 → comm 0,1,2,3.
+		if want := r.ID() / 2; c.Rank() != want {
+			return fmt.Errorf("world %d: comm rank %d, want %d", r.ID(), c.Rank(), want)
+		}
+		// World-rank translation round-trips.
+		if c.WorldRank(c.Rank()) != r.ID() {
+			return fmt.Errorf("world %d: translation broken", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	// Reverse keys invert the communicator ordering.
+	_, err := Run(cfg(4, 1), func(r *Rank) error {
+		c := r.Split(0, -r.ID())
+		if want := 3 - r.ID(); c.Rank() != want {
+			return fmt.Errorf("world %d: comm rank %d, want %d", r.ID(), c.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommAllreduce(t *testing.T) {
+	// Two communicators reduce independently: evens sum even world
+	// ranks, odds sum odd ones.
+	for _, p := range []int{2, 5, 8, 12} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			_, err := Run(cfg(p, min(p, 4)), func(r *Rank) error {
+				c := r.Split(r.ID()%2, r.ID())
+				got := c.AllreduceScalar(float64(r.ID()), OpSum)
+				want := 0.0
+				for w := r.ID() % 2; w < p; w += 2 {
+					want += float64(w)
+				}
+				if got != want {
+					return fmt.Errorf("world %d: sum %v, want %v", r.ID(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCommSendRecv(t *testing.T) {
+	_, err := Run(cfg(6, 2), func(r *Rank) error {
+		c := r.Split(r.ID()%2, r.ID())
+		// Ring within the communicator.
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() - 1 + c.Size()) % c.Size()
+		c.SendFloats(next, 9, []float64{float64(r.ID())})
+		got := c.RecvFloats(prev, 9)
+		wantWorld := c.WorldRank(prev)
+		if got[0] != float64(wantWorld) {
+			return fmt.Errorf("world %d: got %v from comm rank %d (world %d)",
+				r.ID(), got[0], prev, wantWorld)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommBarrier(t *testing.T) {
+	_, err := Run(cfg(8, 2), func(r *Rank) error {
+		c := r.Split(r.ID()/4, r.ID()) // two comms of 4
+		c.Barrier()
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleSplits(t *testing.T) {
+	// Row/column communicators of a 2×4 grid, as hybrid codes build.
+	_, err := Run(cfg(8, 2), func(r *Rank) error {
+		row := r.Split(r.ID()/4, r.ID())
+		col := r.Split(r.ID()%4, r.ID())
+		if row.Size() != 4 || col.Size() != 2 {
+			return fmt.Errorf("world %d: row %d col %d", r.ID(), row.Size(), col.Size())
+		}
+		// Sum over rows then over columns reaches the global sum.
+		rowSum := row.AllreduceScalar(float64(r.ID()), OpSum)
+		total := col.AllreduceScalar(rowSum, OpSum)
+		if total != 28 { // 0+1+...+7
+			return fmt.Errorf("world %d: total %v", r.ID(), total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankPanics(t *testing.T) {
+	_, err := Run(cfg(2, 1), func(r *Rank) error {
+		c := r.Split(0, r.ID())
+		c.WorldRank(5)
+		return nil
+	})
+	if err == nil {
+		t.Error("out-of-range comm rank should error via recovered panic")
+	}
+}

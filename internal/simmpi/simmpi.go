@@ -1,0 +1,682 @@
+// Package simmpi is a message-passing runtime for simulated parallel
+// jobs: MPI ranks execute as goroutines, real data moves between them
+// through channels, and every operation is priced in virtual time by the
+// perfmodel (compute) and netmodel (communication) packages.
+//
+// The design keeps the classic MPI shape — ranks, tags, point-to-point
+// sends and receives, and collectives built from them — so the benchmark
+// codes read like their MPI originals. Virtual-time causality follows the
+// conservative rule implemented in package vclock: a receive completes at
+// max(receiver clock, message availability), where availability is the
+// sender's clock at the send plus the fabric's transfer cost.
+//
+// Collectives are implemented as real message patterns (dissemination
+// barrier, recursive-doubling allreduce, binomial broadcast, ring
+// allgather), so their virtual-time behaviour — including load imbalance
+// arriving at a collective — emerges from the runtime rather than from a
+// closed-form formula.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"a64fxbench/internal/netmodel"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+	"a64fxbench/internal/vclock"
+)
+
+// JobConfig describes one simulated parallel job.
+type JobConfig struct {
+	// Procs is the total number of MPI ranks.
+	Procs int
+	// Nodes is the number of compute nodes the ranks occupy.
+	Nodes int
+	// ThreadsPerRank is the OpenMP-style thread count each rank drives;
+	// it becomes PhaseOptions.Cores for compute phases.
+	ThreadsPerRank int
+	// FastMath enables the aggressive-compiler efficiency mode for all
+	// compute phases of the job.
+	FastMath bool
+	// RankModel supplies the calibrated per-rank cost model; it is
+	// called once per rank at startup. Required.
+	RankModel func(rank int) *perfmodel.CostModel
+	// Fabric prices inter-node communication. Required if Nodes > 1;
+	// a nil fabric with Nodes == 1 prices all messages as intra-node
+	// at a default shared-memory cost.
+	Fabric *netmodel.Fabric
+	// NodeOf maps a rank to its node index; nil means block placement
+	// (rank r lives on node r/(Procs/Nodes)).
+	NodeOf func(rank int) int
+	// NoiseProb and NoiseDuration model OS/system noise: with the
+	// given probability per compute phase (deterministically hashed
+	// from rank and sequence number, so runs are reproducible), a rank
+	// is delayed by NoiseDuration. In bulk-synchronous codes this is
+	// what erodes parallel efficiency at scale — the effect behind the
+	// paper's Table VII values.
+	NoiseProb     float64
+	NoiseDuration units.Duration
+	// Trace records a per-rank event timeline (compute phases, sends,
+	// receives, noise) into the report. Costs memory proportional to
+	// event count; off by default.
+	Trace bool
+}
+
+// validate normalises and checks the configuration.
+func (c *JobConfig) validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("simmpi: Procs = %d, need ≥ 1", c.Procs)
+	}
+	if c.Nodes < 1 {
+		c.Nodes = 1
+	}
+	if c.Nodes > c.Procs {
+		return fmt.Errorf("simmpi: Nodes (%d) > Procs (%d)", c.Nodes, c.Procs)
+	}
+	if c.ThreadsPerRank < 1 {
+		c.ThreadsPerRank = 1
+	}
+	if c.RankModel == nil {
+		return fmt.Errorf("simmpi: RankModel is required")
+	}
+	if c.Fabric == nil {
+		if c.Nodes > 1 {
+			return fmt.Errorf("simmpi: Fabric required for %d nodes", c.Nodes)
+		}
+		c.Fabric = &netmodel.Fabric{
+			Name:             "shared-memory",
+			Topo:             singleNodeTopo{},
+			SoftwareOverhead: units.Duration(600 * units.Nanosecond),
+			HopLatency:       0,
+			LinkBandwidth:    10 * units.GBPerSec,
+		}
+	}
+	if c.NodeOf == nil {
+		perNode := (c.Procs + c.Nodes - 1) / c.Nodes
+		c.NodeOf = func(r int) int { return r / perNode }
+	}
+	return nil
+}
+
+// singleNodeTopo is the trivial topology of one node.
+type singleNodeTopo struct{}
+
+func (singleNodeTopo) Name() string      { return "single-node" }
+func (singleNodeTopo) Hops(a, b int) int { return 0 }
+func (singleNodeTopo) MaxNodes() int     { return 1 }
+
+// message is the unit carried between ranks.
+type message struct {
+	payload any
+	bytes   units.Bytes
+	avail   vclock.Time
+}
+
+// mailboxKey routes messages: exact (src, dst, tag) matching, FIFO order.
+type mailboxKey struct {
+	src, dst, tag int
+}
+
+// job is the shared state of a running simulated job.
+type job struct {
+	cfg   JobConfig
+	boxes sync.Map // mailboxKey → chan message
+
+	// Split coordination (see comm.go).
+	splitMu  sync.Mutex
+	splits   map[int]*splitState
+	splitSeq map[int]int
+}
+
+// box returns (creating if needed) the FIFO channel for a route.
+func (j *job) box(k mailboxKey) chan message {
+	if v, ok := j.boxes.Load(k); ok {
+		return v.(chan message)
+	}
+	// Modest buffering: sends are eager, and no benchmark keeps more
+	// than a few unmatched messages in flight on one (src,dst,tag)
+	// route, so a small buffer avoids both deadlock and the memory
+	// cost of allocating large channels for every route.
+	v, _ := j.boxes.LoadOrStore(k, make(chan message, 64))
+	return v.(chan message)
+}
+
+// Stats accumulates one rank's activity.
+type Stats struct {
+	// Flops and MemBytes total the metered compute work.
+	Flops    units.Flops
+	MemBytes units.Bytes
+	// MsgsSent and BytesSent total point-to-point traffic (collective
+	// internals included).
+	MsgsSent  int64
+	BytesSent units.Bytes
+	// ClassTime breaks busy time down by kernel class.
+	ClassTime map[perfmodel.KernelClass]units.Duration
+}
+
+// Rank is one simulated MPI process. The body function owns it; it is not
+// safe for concurrent use.
+type Rank struct {
+	id       int
+	size     int
+	node     int
+	clock    *vclock.Clock
+	model    *perfmodel.CostModel
+	job      *job
+	stats    Stats
+	noiseSeq uint64
+	events   []Event
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the total rank count.
+func (r *Rank) Size() int { return r.size }
+
+// Node returns the node index this rank is placed on.
+func (r *Rank) Node() int { return r.node }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() vclock.Time { return r.clock.Now() }
+
+// Model exposes the rank's cost model (read-only use).
+func (r *Rank) Model() *perfmodel.CostModel { return r.model }
+
+// Stats returns a copy of the rank's accumulated statistics.
+func (r *Rank) Stats() Stats {
+	s := r.stats
+	s.ClassTime = make(map[perfmodel.KernelClass]units.Duration, len(r.stats.ClassTime))
+	for k, v := range r.stats.ClassTime {
+		s.ClassTime[k] = v
+	}
+	return s
+}
+
+// Compute executes a metered kernel phase: the rank's clock advances by
+// the modelled phase time.
+func (r *Rank) Compute(w perfmodel.WorkProfile) {
+	d := r.model.PhaseTime(w, perfmodel.PhaseOptions{
+		Cores:    r.job.cfg.ThreadsPerRank,
+		FastMath: r.job.cfg.FastMath,
+	})
+	start := r.clock.Now()
+	r.clock.Advance(d)
+	r.record(Event{Kind: EvCompute, Start: start, Duration: d, Class: w.Class, Peer: -1})
+	if p := r.job.cfg.NoiseProb; p > 0 {
+		r.noiseSeq++
+		h := splitmix64(uint64(r.id)*0x9E3779B97F4A7C15 + r.noiseSeq)
+		if float64(h>>11)/(1<<53) < p {
+			r.record(Event{Kind: EvNoise, Start: r.clock.Now(), Duration: r.job.cfg.NoiseDuration, Peer: -1})
+			r.clock.Advance(r.job.cfg.NoiseDuration)
+		}
+	}
+	r.stats.Flops += w.Flops
+	r.stats.MemBytes += w.Bytes
+	if r.stats.ClassTime == nil {
+		r.stats.ClassTime = make(map[perfmodel.KernelClass]units.Duration)
+	}
+	r.stats.ClassTime[w.Class] += d
+}
+
+// splitmix64 is the SplitMix64 mixing function — a fast, deterministic
+// hash used for reproducible noise injection.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Elapse advances the rank's clock by a fixed duration (setup phases,
+// modelled I/O, etc.).
+func (r *Rank) Elapse(d units.Duration) { r.clock.Advance(d) }
+
+// Send transmits payload to rank dst with the given tag. The payload's
+// ownership passes to the receiver; senders must not mutate it afterwards.
+// bytes is the modelled wire size (callers know their datatype sizes).
+func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
+	if dst < 0 || dst >= r.size {
+		panic(fmt.Sprintf("simmpi: send to invalid rank %d (size %d)", dst, r.size))
+	}
+	f := r.job.cfg.Fabric
+	total := f.PointToPoint(r.node, r.job.cfg.NodeOf(dst), bytes)
+	// The sender's CPU is occupied for the injection overhead; the rest
+	// of the transfer overlaps with whatever the sender does next.
+	sendAt := r.clock.Now()
+	r.clock.Advance(f.SoftwareOverhead / 2)
+	r.job.box(mailboxKey{r.id, dst, tag}) <- message{
+		payload: payload,
+		bytes:   bytes,
+		avail:   sendAt.Add(total),
+	}
+	r.stats.MsgsSent++
+	r.stats.BytesSent += bytes
+	r.record(Event{Kind: EvSend, Start: sendAt, Duration: f.SoftwareOverhead / 2, Peer: dst, Bytes: bytes})
+}
+
+// Recv blocks until a message from src with the given tag arrives,
+// advances virtual time to its availability, and returns the payload.
+func (r *Rank) Recv(src, tag int) any {
+	if src < 0 || src >= r.size {
+		panic(fmt.Sprintf("simmpi: recv from invalid rank %d (size %d)", src, r.size))
+	}
+	m := <-r.job.box(mailboxKey{src, r.id, tag})
+	start := r.clock.Now()
+	r.clock.AdvanceTo(m.avail)
+	r.record(Event{
+		Kind: EvRecv, Start: start,
+		Duration: units.Duration(vclock.Max(m.avail, start) - start),
+		Peer:     src, Bytes: m.bytes,
+	})
+	return m.payload
+}
+
+// SendFloats sends a float64 slice (8 bytes per element on the wire).
+func (r *Rank) SendFloats(dst, tag int, data []float64) {
+	r.Send(dst, tag, data, units.Bytes(8*len(data)))
+}
+
+// RecvFloats receives a float64 slice sent with SendFloats.
+func (r *Rank) RecvFloats(src, tag int) []float64 {
+	return r.Recv(src, tag).([]float64)
+}
+
+// Sendrecv exchanges slices with a partner rank without deadlock (sends
+// are buffered/eager). It returns the partner's payload.
+func (r *Rank) Sendrecv(partner, tag int, data []float64) []float64 {
+	r.SendFloats(partner, tag, data)
+	return r.RecvFloats(partner, tag)
+}
+
+// Internal tags for collectives live far above user tags.
+const (
+	tagBarrier = 1 << 20
+	tagReduce  = 1 << 21
+	tagBcast   = 1 << 22
+	tagGather  = 1 << 23
+	tagA2A     = 1 << 24
+	tagRS      = 1 << 25
+	tagScan    = 1 << 26
+)
+
+// Barrier synchronises all ranks with a dissemination barrier.
+func (r *Rank) Barrier() {
+	p := r.size
+	if p == 1 {
+		return
+	}
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		r.Send(dst, tagBarrier+round, nil, 0)
+		r.Recv(src, tagBarrier+round)
+	}
+}
+
+// Op is a reduction operator for float64 elements.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = math.Max
+	OpMin Op = math.Min
+)
+
+// Allreduce combines buf element-wise across all ranks with op, leaving
+// the result in buf on every rank. It uses recursive doubling with the
+// standard pre/post folding for non-power-of-two sizes.
+func (r *Rank) Allreduce(buf []float64, op Op) {
+	p := r.size
+	if p == 1 {
+		return
+	}
+	// pof2 is the largest power of two ≤ p.
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	id := r.id
+	// Phase 1: the first 2*rem ranks fold pairs so pof2 ranks remain.
+	newID := -1
+	switch {
+	case id < 2*rem && id%2 == 0:
+		// Sends data to the odd partner and drops out.
+		r.SendFloats(id+1, tagReduce, append([]float64(nil), buf...))
+	case id < 2*rem:
+		other := r.RecvFloats(id-1, tagReduce)
+		for i := range buf {
+			buf[i] = op(buf[i], other[i])
+		}
+		newID = id / 2
+	default:
+		newID = id - rem
+	}
+	// Phase 2: recursive doubling among the pof2 survivors.
+	if newID >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partnerNew := newID ^ mask
+			var partner int
+			if partnerNew < rem {
+				partner = partnerNew*2 + 1
+			} else {
+				partner = partnerNew + rem
+			}
+			other := r.Sendrecv(partner, tagReduce+1+mask, append([]float64(nil), buf...))
+			for i := range buf {
+				buf[i] = op(buf[i], other[i])
+			}
+		}
+	}
+	// Phase 3: survivors return results to the dropped-out ranks.
+	switch {
+	case id < 2*rem && id%2 == 0:
+		res := r.RecvFloats(id+1, tagReduce+2)
+		copy(buf, res)
+	case id < 2*rem:
+		r.SendFloats(id-1, tagReduce+2, append([]float64(nil), buf...))
+	}
+}
+
+// AllreduceScalar reduces a single value across ranks.
+func (r *Rank) AllreduceScalar(v float64, op Op) float64 {
+	buf := []float64{v}
+	r.Allreduce(buf, op)
+	return buf[0]
+}
+
+// Bcast distributes root's buf to every rank via a binomial tree and
+// returns the (possibly replaced) slice.
+func (r *Rank) Bcast(root int, buf []float64) []float64 {
+	p := r.size
+	if p == 1 {
+		return buf
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (r.id - root + p) % p
+	// Receive from parent (highest set bit), then forward down.
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := ((vrank - mask) + root) % p
+		buf = r.RecvFloats(parent, tagBcast)
+	}
+	// Children: vrank + m for each m > current highest bit, m < p.
+	low := 1
+	for low <= vrank {
+		low <<= 1
+	}
+	for m := low; vrank+m < p; m <<= 1 {
+		child := (vrank + m + root) % p
+		r.SendFloats(child, tagBcast, append([]float64(nil), buf...))
+	}
+	return buf
+}
+
+// Reduce combines buf onto the root (binomial tree). Non-root ranks'
+// buffers are left partially combined, as in MPI.
+func (r *Rank) Reduce(root int, buf []float64, op Op) {
+	p := r.size
+	if p == 1 {
+		return
+	}
+	vrank := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask == 0 {
+			partner := vrank | mask
+			if partner < p {
+				other := r.RecvFloats((partner+root)%p, tagReduce+3)
+				for i := range buf {
+					buf[i] = op(buf[i], other[i])
+				}
+			}
+		} else {
+			parent := vrank &^ mask
+			r.SendFloats((parent+root)%p, tagReduce+3, append([]float64(nil), buf...))
+			return
+		}
+		mask <<= 1
+	}
+}
+
+// Allgather concatenates each rank's contribution, in rank order, on all
+// ranks using the ring algorithm. Each contribution must have length n.
+func (r *Rank) Allgather(contrib []float64) []float64 {
+	p := r.size
+	n := len(contrib)
+	out := make([]float64, n*p)
+	copy(out[r.id*n:], contrib)
+	if p == 1 {
+		return out
+	}
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	cur := r.id
+	block := append([]float64(nil), contrib...)
+	for step := 0; step < p-1; step++ {
+		r.SendFloats(right, tagGather+step, block)
+		block = r.RecvFloats(left, tagGather+step)
+		cur = (cur - 1 + p) % p
+		copy(out[cur*n:], block)
+	}
+	return out
+}
+
+// Alltoall performs a pairwise-exchange all-to-all: send[i] goes to rank
+// i, and the returned slice holds what each rank sent to us, indexed by
+// source. Each send[i] must have equal length.
+func (r *Rank) Alltoall(send [][]float64) [][]float64 {
+	p := r.size
+	if len(send) != p {
+		panic(fmt.Sprintf("simmpi: Alltoall needs %d blocks, got %d", p, len(send)))
+	}
+	recv := make([][]float64, p)
+	recv[r.id] = send[r.id]
+	if p&(p-1) == 0 {
+		// Power of two: XOR pairwise exchange.
+		for step := 1; step < p; step++ {
+			partner := r.id ^ step
+			recv[partner] = r.Sendrecv(partner, tagA2A+step, send[partner])
+		}
+		return recv
+	}
+	// General case: rotation schedule — every rank sends to (id+step)
+	// and receives from (id-step) each step, so all steps match.
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		src := (r.id - step + p) % p
+		r.SendFloats(dst, tagA2A+step, send[dst])
+		recv[src] = r.RecvFloats(src, tagA2A+step)
+	}
+	return recv
+}
+
+// ReduceScatter reduces buf element-wise across ranks and scatters the
+// result: rank i receives the reduced block i of the p equal blocks of
+// buf (len(buf) must be divisible by p). Implemented as the first half
+// of Rabenseifner's allreduce: pairwise exchange with recursive halving.
+func (r *Rank) ReduceScatter(buf []float64, op Op) []float64 {
+	p := r.size
+	n := len(buf)
+	if n%p != 0 {
+		panic(fmt.Sprintf("simmpi: ReduceScatter length %d not divisible by %d ranks", n, p))
+	}
+	blk := n / p
+	if p == 1 {
+		return append([]float64(nil), buf...)
+	}
+	if p&(p-1) != 0 {
+		// Non-power-of-two: reduce to root then scatter (simple and
+		// correct; the common benchmark sizes are powers of two).
+		work := append([]float64(nil), buf...)
+		r.Reduce(0, work, op)
+		if r.id == 0 {
+			for dst := 1; dst < p; dst++ {
+				r.SendFloats(dst, tagRS, work[dst*blk:(dst+1)*blk])
+			}
+			return append([]float64(nil), work[:blk]...)
+		}
+		return r.RecvFloats(0, tagRS)
+	}
+	// Recursive halving: at each step exchange the half of the buffer
+	// the partner is responsible for.
+	work := append([]float64(nil), buf...)
+	lo, hi := 0, n
+	for mask := p >> 1; mask >= 1; mask >>= 1 {
+		partner := r.id ^ mask
+		mid := (lo + hi) / 2
+		var sendLo, sendHi, keepLo, keepHi int
+		if r.id&mask == 0 {
+			sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+		} else {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		other := r.Sendrecv(partner, tagRS+1+mask, append([]float64(nil), work[sendLo:sendHi]...))
+		for i := keepLo; i < keepHi; i++ {
+			work[i] = op(work[i], other[i-keepLo])
+		}
+		lo, hi = keepLo, keepHi
+	}
+	return append([]float64(nil), work[lo:hi]...)
+}
+
+// ExScan computes the exclusive prefix reduction: rank i receives
+// op(buf₀, …, buf_{i-1}) element-wise; rank 0 receives zeros (the
+// additive identity — intended for OpSum-style operators). Linear
+// pipeline implementation.
+func (r *Rank) ExScan(buf []float64, op Op) []float64 {
+	out := make([]float64, len(buf))
+	if r.id > 0 {
+		prev := r.RecvFloats(r.id-1, tagScan)
+		copy(out, prev)
+	}
+	if r.id < r.size-1 {
+		next := make([]float64, len(buf))
+		if r.id == 0 {
+			copy(next, buf)
+		} else {
+			for i := range next {
+				next[i] = op(out[i], buf[i])
+			}
+		}
+		r.SendFloats(r.id+1, tagScan, next)
+	}
+	return out
+}
+
+// RankResult captures one rank's final accounting.
+type RankResult struct {
+	Rank   int
+	Finish vclock.Time
+	Busy   units.Duration
+	Wait   units.Duration
+	Stats  Stats
+}
+
+// Report summarises a completed job.
+type Report struct {
+	// Makespan is the virtual time at which the slowest rank finished —
+	// the simulated job runtime.
+	Makespan units.Duration
+	// TotalFlops sums metered flops across ranks.
+	TotalFlops units.Flops
+	// TotalBytesSent sums point-to-point wire traffic.
+	TotalBytesSent units.Bytes
+	// TotalMsgs counts point-to-point messages.
+	TotalMsgs int64
+	// MeanBusy and MeanWait average the per-rank busy/wait split.
+	MeanBusy units.Duration
+	MeanWait units.Duration
+	// Ranks holds per-rank results, indexed by rank.
+	Ranks []RankResult
+	// Timeline is the merged event log when JobConfig.Trace was set.
+	Timeline Timeline
+}
+
+// GFLOPs reports the aggregate achieved rate: total flops over makespan.
+func (rep Report) GFLOPs() float64 {
+	return units.Rate(float64(rep.TotalFlops), rep.Makespan) / 1e9
+}
+
+// Seconds reports the makespan in seconds.
+func (rep Report) Seconds() float64 { return rep.Makespan.Seconds() }
+
+// Run executes body on every rank of the configured job and returns the
+// aggregated report. The first non-nil error from any rank aborts the
+// report (but all goroutines are still joined).
+func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	j := &job{cfg: cfg, splitSeq: map[int]int{}}
+	ranks := make([]*Rank, cfg.Procs)
+	for i := range ranks {
+		ranks[i] = &Rank{
+			id:    i,
+			size:  cfg.Procs,
+			node:  cfg.NodeOf(i),
+			clock: vclock.NewClock(),
+			model: cfg.RankModel(i),
+			job:   j,
+		}
+	}
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r.id] = fmt.Errorf("rank %d panicked: %v", r.id, p)
+				}
+			}()
+			errs[r.id] = body(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	rep := Report{Ranks: make([]RankResult, cfg.Procs)}
+	var busySum, waitSum float64
+	for i, r := range ranks {
+		res := RankResult{
+			Rank:   i,
+			Finish: r.clock.Now(),
+			Busy:   r.clock.BusyTime(),
+			Wait:   r.clock.WaitTime(),
+			Stats:  r.Stats(),
+		}
+		rep.Ranks[i] = res
+		if units.Duration(res.Finish) > rep.Makespan {
+			rep.Makespan = units.Duration(res.Finish)
+		}
+		rep.TotalFlops += res.Stats.Flops
+		rep.TotalBytesSent += res.Stats.BytesSent
+		rep.TotalMsgs += res.Stats.MsgsSent
+		busySum += res.Busy.Seconds()
+		waitSum += res.Wait.Seconds()
+		if cfg.Trace {
+			rep.Timeline = append(rep.Timeline, r.events...)
+		}
+	}
+	if cfg.Trace {
+		sortTimeline(rep.Timeline)
+	}
+	n := float64(cfg.Procs)
+	rep.MeanBusy = units.DurationFromSeconds(busySum / n)
+	rep.MeanWait = units.DurationFromSeconds(waitSum / n)
+	return rep, nil
+}

@@ -1,0 +1,107 @@
+package simmpi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+	"a64fxbench/internal/vclock"
+)
+
+// EventKind labels one entry of a rank's execution timeline.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvCompute is a metered kernel phase.
+	EvCompute EventKind = iota
+	// EvSend is a point-to-point injection.
+	EvSend
+	// EvRecv is a receive completion (including any wait).
+	EvRecv
+	// EvNoise is an injected OS-noise delay.
+	EvNoise
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry: what a rank did, when (virtual time), and
+// for how long.
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Start vclock.Time
+	// Duration covers the event in virtual time (for EvRecv this is
+	// the blocked/wait portion).
+	Duration units.Duration
+	// Class is set for EvCompute.
+	Class perfmodel.KernelClass
+	// Peer is the other rank for EvSend/EvRecv, -1 otherwise.
+	Peer int
+	// Bytes is the wire size for EvSend/EvRecv.
+	Bytes units.Bytes
+}
+
+// Timeline is the merged, time-ordered event log of a traced job.
+type Timeline []Event
+
+// WriteTo renders the timeline as one line per event (sorted by start
+// time, then rank) — a poor man's trace viewer.
+func (tl Timeline) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range tl {
+		var desc string
+		switch e.Kind {
+		case EvCompute:
+			desc = fmt.Sprintf("%-8s %v", e.Class, e.Duration)
+		case EvSend:
+			desc = fmt.Sprintf("→ rank %-4d %v", e.Peer, e.Bytes)
+		case EvRecv:
+			desc = fmt.Sprintf("← rank %-4d %v (waited %v)", e.Peer, e.Bytes, e.Duration)
+		case EvNoise:
+			desc = fmt.Sprintf("os noise %v", e.Duration)
+		}
+		n, err := fmt.Fprintf(w, "%12.6fs rank %-4d %-8s %s\n",
+			e.Start.Seconds(), e.Rank, e.Kind, desc)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// sortTimeline orders events by start time, breaking ties by rank.
+func sortTimeline(tl Timeline) {
+	sort.SliceStable(tl, func(i, j int) bool {
+		if tl[i].Start != tl[j].Start {
+			return tl[i].Start < tl[j].Start
+		}
+		return tl[i].Rank < tl[j].Rank
+	})
+}
+
+// record appends an event when tracing is on.
+func (r *Rank) record(e Event) {
+	if !r.job.cfg.Trace {
+		return
+	}
+	e.Rank = r.id
+	r.events = append(r.events, e)
+}

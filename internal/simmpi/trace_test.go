@@ -1,0 +1,96 @@
+package simmpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+)
+
+func TestTraceTimeline(t *testing.T) {
+	c := cfg(2, 2)
+	c.Trace = true
+	rep, err := Run(c, func(r *Rank) error {
+		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: units.MFlop})
+		if r.ID() == 0 {
+			r.SendFloats(1, 1, []float64{1})
+		} else {
+			r.RecvFloats(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 computes + 1 send + 1 recv.
+	if len(rep.Timeline) != 4 {
+		t.Fatalf("timeline has %d events: %+v", len(rep.Timeline), rep.Timeline)
+	}
+	// Sorted by start time.
+	for i := 1; i < len(rep.Timeline); i++ {
+		if rep.Timeline[i].Start < rep.Timeline[i-1].Start {
+			t.Error("timeline not sorted")
+		}
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range rep.Timeline {
+		kinds[e.Kind]++
+	}
+	if kinds[EvCompute] != 2 || kinds[EvSend] != 1 || kinds[EvRecv] != 1 {
+		t.Errorf("kind counts: %v", kinds)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.Timeline.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"compute", "send", "recv", "vecop"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("trace output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	rep, err := Run(cfg(2, 1), func(r *Rank) error {
+		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: units.MFlop})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timeline) != 0 {
+		t.Error("untraced run should have no timeline")
+	}
+}
+
+func TestTraceNoise(t *testing.T) {
+	c := cfg(1, 1)
+	c.Trace = true
+	c.NoiseProb = 1.0
+	c.NoiseDuration = units.Second
+	rep, err := Run(c, func(r *Rank) error {
+		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: units.MFlop})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range rep.Timeline {
+		if e.Kind == EvNoise && e.Duration == units.Second {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("noise event not traced")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvCompute.String() != "compute" || EventKind(99).String() != "event(99)" {
+		t.Error("EventKind names wrong")
+	}
+}

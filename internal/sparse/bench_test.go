@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// benchMatrix caches the assembled stencil so assembly cost is excluded
+// from the kernel benchmarks.
+var benchMatrix *CSR
+
+func getBenchMatrix(b *testing.B) *CSR {
+	if benchMatrix == nil {
+		m, err := Stencil27(32, 32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMatrix = m
+	}
+	return benchMatrix
+}
+
+func BenchmarkSpMV32cubed(b *testing.B) {
+	m := getBenchMatrix(b)
+	x := make([]float64, m.N)
+	y := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+	b.SetBytes(int64(m.NNZ()*12 + int64(m.N)*16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpMV(x, y)
+	}
+	b.ReportMetric(2*float64(m.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkSymGS32cubed(b *testing.B) {
+	m := getBenchMatrix(b)
+	rhs := make([]float64, m.N)
+	x := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = float64(i%5) * 0.5
+	}
+	b.SetBytes(int64(2 * (m.NNZ()*12 + int64(m.N)*16)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SymGS(rhs, x)
+	}
+}
+
+func BenchmarkStencil27Assembly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Stencil27(16, 16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralAssembly(b *testing.B) {
+	spec := StructuralSpec{NX: 8, NY: 8, NZ: 8, DofPerNode: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Assemble(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package sparse implements compressed sparse row matrices and the sparse
+// kernels the benchmarks build on: SpMV, symmetric Gauss-Seidel, and the
+// matrix generators for the HPCG 27-point stencil and the minikab
+// structural (FEM-like) problem.
+//
+// Generators also expose exact size formulas (rows, non-zeros) so the
+// performance model can meter full-scale problems that are validated
+// numerically at reduced scale (DESIGN.md §1).
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CSR is a square sparse matrix in compressed sparse row format.
+type CSR struct {
+	// N is the matrix dimension.
+	N int
+	// RowPtr has N+1 entries; row i occupies [RowPtr[i], RowPtr[i+1]).
+	RowPtr []int64
+	// ColIdx holds column indices, sorted within each row.
+	ColIdx []int32
+	// Vals holds the matching values.
+	Vals []float64
+	// DiagIdx caches the position of the diagonal entry of each row
+	// (-1 if a row has no diagonal), for Gauss-Seidel sweeps.
+	DiagIdx []int64
+}
+
+// NNZ reports the number of stored non-zeros.
+func (m *CSR) NNZ() int64 { return int64(len(m.Vals)) }
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// sorted column indices, and diagonal cache consistency.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("sparse: RowPtr has %d entries for N=%d", len(m.RowPtr), m.N)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.N] != int64(len(m.Vals)) {
+		return fmt.Errorf("sparse: RowPtr bounds [%d, %d] with %d values",
+			m.RowPtr[0], m.RowPtr[m.N], len(m.Vals))
+	}
+	if len(m.ColIdx) != len(m.Vals) {
+		return fmt.Errorf("sparse: %d indices vs %d values", len(m.ColIdx), len(m.Vals))
+	}
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: row %d has negative extent", i)
+		}
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			if c < 0 || int(c) >= m.N {
+				return fmt.Errorf("sparse: row %d column %d out of range", i, c)
+			}
+			if p > lo && m.ColIdx[p-1] >= c {
+				return fmt.Errorf("sparse: row %d columns not strictly sorted", i)
+			}
+		}
+		if m.DiagIdx != nil {
+			d := m.DiagIdx[i]
+			if d >= 0 && (d < lo || d >= hi || int(m.ColIdx[d]) != i) {
+				return fmt.Errorf("sparse: row %d diagonal cache wrong", i)
+			}
+		}
+	}
+	return nil
+}
+
+// buildDiagIdx populates the diagonal cache.
+func (m *CSR) buildDiagIdx() {
+	m.DiagIdx = make([]int64, m.N)
+	for i := 0; i < m.N; i++ {
+		m.DiagIdx[i] = -1
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.ColIdx[p]) == i {
+				m.DiagIdx[i] = p
+				break
+			}
+		}
+	}
+}
+
+// Diagonal extracts the diagonal into a new slice (zero where absent).
+func (m *CSR) Diagonal() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		if p := m.DiagIdx[i]; p >= 0 {
+			d[i] = m.Vals[p]
+		}
+	}
+	return d
+}
+
+// SpMV computes y = A·x.
+func (m *CSR) SpMV(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("sparse: SpMV size mismatch N=%d len(x)=%d len(y)=%d", m.N, len(x), len(y)))
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Vals[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// SpMVFlops reports the flop count of one SpMV (2 per stored non-zero).
+func (m *CSR) SpMVFlops() float64 { return 2 * float64(m.NNZ()) }
+
+// SymGS performs one symmetric Gauss-Seidel sweep (forward then backward)
+// on A·x = b, updating x in place — HPCG's smoother.
+func (m *CSR) SymGS(b, x []float64) {
+	if len(b) != m.N || len(x) != m.N {
+		panic("sparse: SymGS size mismatch")
+	}
+	// Forward sweep.
+	for i := 0; i < m.N; i++ {
+		m.gsRow(i, b, x)
+	}
+	// Backward sweep.
+	for i := m.N - 1; i >= 0; i-- {
+		m.gsRow(i, b, x)
+	}
+}
+
+// gsRow relaxes one row: x_i = (b_i - Σ_{j≠i} a_ij x_j) / a_ii.
+func (m *CSR) gsRow(i int, b, x []float64) {
+	d := m.DiagIdx[i]
+	if d < 0 {
+		return // no diagonal: skip (degenerate rows in tests)
+	}
+	s := b[i]
+	for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+		if p != d {
+			s -= m.Vals[p] * x[m.ColIdx[p]]
+		}
+	}
+	x[i] = s / m.Vals[d]
+}
+
+// SymGSFlops reports the flop count of one symmetric sweep:
+// both directions touch every non-zero once (2 flops each) plus a divide.
+func (m *CSR) SymGSFlops() float64 {
+	return 2 * (2*float64(m.NNZ()) + float64(m.N))
+}
+
+// Builder assembles a CSR matrix from (row, col, value) triplets with
+// duplicate entries summed. Rows must be added in order; columns within a
+// row may arrive unsorted.
+type Builder struct {
+	n      int
+	rowPtr []int64
+	cols   []int32
+	vals   []float64
+	cur    int
+	// scratch for per-row sort+dedup
+	rowCols []int32
+	rowVals []float64
+}
+
+// NewBuilder creates a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, rowPtr: make([]int64, 1, n+1)}
+}
+
+// StartRow begins row i, which must be exactly the next row.
+func (b *Builder) StartRow(i int) {
+	if i != b.cur {
+		panic(fmt.Sprintf("sparse: StartRow(%d) but next row is %d", i, b.cur))
+	}
+	b.rowCols = b.rowCols[:0]
+	b.rowVals = b.rowVals[:0]
+}
+
+// Add appends an entry to the current row.
+func (b *Builder) Add(col int, v float64) {
+	if col < 0 || col >= b.n {
+		panic(fmt.Sprintf("sparse: column %d out of range [0,%d)", col, b.n))
+	}
+	b.rowCols = append(b.rowCols, int32(col))
+	b.rowVals = append(b.rowVals, v)
+}
+
+// EndRow finalises the current row: sorts columns, merges duplicates.
+func (b *Builder) EndRow() {
+	// Insertion sort: rows are short (≤ ~100 entries).
+	for i := 1; i < len(b.rowCols); i++ {
+		c, v := b.rowCols[i], b.rowVals[i]
+		j := i - 1
+		for j >= 0 && b.rowCols[j] > c {
+			b.rowCols[j+1] = b.rowCols[j]
+			b.rowVals[j+1] = b.rowVals[j]
+			j--
+		}
+		b.rowCols[j+1] = c
+		b.rowVals[j+1] = v
+	}
+	for i := 0; i < len(b.rowCols); i++ {
+		if i > 0 && b.rowCols[i] == int32(b.cols[len(b.cols)-1]) && int64(len(b.cols)) > b.rowPtr[len(b.rowPtr)-1] {
+			// merge duplicate with previous appended entry
+			b.vals[len(b.vals)-1] += b.rowVals[i]
+			continue
+		}
+		b.cols = append(b.cols, b.rowCols[i])
+		b.vals = append(b.vals, b.rowVals[i])
+	}
+	b.rowPtr = append(b.rowPtr, int64(len(b.cols)))
+	b.cur++
+}
+
+// Build finalises the matrix; all n rows must have been emitted.
+func (b *Builder) Build() (*CSR, error) {
+	if b.cur != b.n {
+		return nil, fmt.Errorf("sparse: built %d of %d rows", b.cur, b.n)
+	}
+	m := &CSR{N: b.n, RowPtr: b.rowPtr, ColIdx: b.cols, Vals: b.vals}
+	m.buildDiagIdx()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RandomSPD generates a random sparse symmetric positive-definite matrix
+// with about nnzPerRow off-diagonal entries per row, for tests: banded
+// random coupling with a diagonally dominant diagonal.
+func RandomSPD(n, nnzPerRow int, seed int64) (*CSR, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if nnzPerRow < 1 {
+		nnzPerRow = 1
+	}
+	half := nnzPerRow / 2
+	if half < 1 {
+		half = 1
+	}
+	// Symmetric band: couple i with i±k for k in 1..half.
+	offVals := make([][]float64, n) // offVals[i][k-1] = value for (i, i+k)
+	for i := range offVals {
+		offVals[i] = make([]float64, half)
+		for k := range offVals[i] {
+			offVals[i][k] = -rng.Float64()
+		}
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.StartRow(i)
+		var rowSum float64
+		for k := 1; k <= half; k++ {
+			if i-k >= 0 {
+				v := offVals[i-k][k-1]
+				b.Add(i-k, v)
+				rowSum += -v
+			}
+			if i+k < n {
+				v := offVals[i][k-1]
+				b.Add(i+k, v)
+				rowSum += -v
+			}
+		}
+		b.Add(i, rowSum+1) // strict diagonal dominance ⇒ SPD
+		b.EndRow()
+	}
+	return b.Build()
+}

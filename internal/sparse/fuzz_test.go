@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzBuilder feeds arbitrary row contents through the Builder and checks
+// that every successfully built matrix passes Validate.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2, 1, 0})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(5), []byte{4, 4, 4, 0, 2, 3})
+	f.Fuzz(func(t *testing.T, nRaw uint8, cols []byte) {
+		n := int(nRaw)%8 + 1
+		b := NewBuilder(n)
+		ci := 0
+		for row := 0; row < n; row++ {
+			b.StartRow(row)
+			// Up to 4 entries per row taken from the fuzz bytes.
+			for k := 0; k < 4 && ci < len(cols); k++ {
+				col := int(cols[ci]) % n
+				ci++
+				b.Add(col, float64(col)+0.5)
+			}
+			b.EndRow()
+		}
+		m, err := b.Build()
+		if err != nil {
+			t.Fatalf("build failed: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("built matrix invalid: %v", err)
+		}
+		// SpMV must not panic and must produce finite values.
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		m.SpMV(x, y)
+		for i, v := range y {
+			if v != v {
+				t.Fatalf("NaN at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzStencilNNZ cross-checks the closed-form NNZ formula against
+// assembly for arbitrary small grids.
+func FuzzStencilNNZ(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(3))
+	f.Add(uint8(4), uint8(4), uint8(4))
+	f.Fuzz(func(t *testing.T, a, b, c uint8) {
+		nx, ny, nz := int(a)%6+1, int(b)%6+1, int(c)%6+1
+		m, err := Stencil27(nx, ny, nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NNZ() != Stencil27NNZ(nx, ny, nz) {
+			t.Fatalf("%dx%dx%d: %d vs %d", nx, ny, nz, m.NNZ(), Stencil27NNZ(nx, ny, nz))
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"a64fxbench/internal/linalg"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(3)
+	b.StartRow(0)
+	b.Add(0, 2)
+	b.Add(1, -1)
+	b.EndRow()
+	b.StartRow(1)
+	b.Add(2, -1)
+	b.Add(0, -1)
+	b.Add(1, 2) // unsorted input
+	b.EndRow()
+	b.StartRow(2)
+	b.Add(1, -1)
+	b.Add(2, 2)
+	b.EndRow()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 7 {
+		t.Errorf("NNZ = %d, want 7", m.NNZ())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	d := m.Diagonal()
+	for i, v := range d {
+		if v != 2 {
+			t.Errorf("diag[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestBuilderDuplicatesMerged(t *testing.T) {
+	b := NewBuilder(1)
+	b.StartRow(0)
+	b.Add(0, 1)
+	b.Add(0, 2)
+	b.EndRow()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || m.Vals[0] != 3 {
+		t.Errorf("duplicates not merged: %+v", m)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.StartRow(0)
+	b.EndRow()
+	if _, err := b.Build(); err == nil {
+		t.Error("incomplete build should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order StartRow should panic")
+			}
+		}()
+		b.StartRow(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Add should panic")
+			}
+		}()
+		b2 := NewBuilder(2)
+		b2.StartRow(0)
+		b2.Add(5, 1)
+	}()
+}
+
+func TestSpMVTridiagonal(t *testing.T) {
+	// 1D Laplacian: A·1 = boundary effect only.
+	m, err := RandomSPD(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	b := NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		b.StartRow(i)
+		if i > 0 {
+			b.Add(i-1, -1)
+		}
+		b.Add(i, 2)
+		if i < 2 {
+			b.Add(i+1, -1)
+		}
+		b.EndRow()
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 3)
+	a.SpMV([]float64{1, 1, 1}, y)
+	want := []float64{1, 0, 1}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if a.SpMVFlops() != 2*7 {
+		t.Errorf("SpMVFlops = %v", a.SpMVFlops())
+	}
+	if a.SymGSFlops() != 2*(2*7+3) {
+		t.Errorf("SymGSFlops = %v", a.SymGSFlops())
+	}
+}
+
+func TestSymGSReducesResidual(t *testing.T) {
+	m, err := Stencil27(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.N
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	m.SpMV(xTrue, b)
+	x := make([]float64, n)
+	resid := func() float64 {
+		r := make([]float64, n)
+		m.SpMV(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		return linalg.Norm2(r)
+	}
+	r0 := resid()
+	for it := 0; it < 5; it++ {
+		m.SymGS(b, x)
+	}
+	r5 := resid()
+	if r5 >= r0*0.5 {
+		t.Errorf("SymGS barely converged: r0=%v r5=%v", r0, r5)
+	}
+	for it := 0; it < 45; it++ {
+		m.SymGS(b, x)
+	}
+	if r := resid(); r >= r5 {
+		t.Errorf("SymGS diverged later: %v → %v", r5, r)
+	}
+}
+
+func TestStencil27Structure(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 2, 2}, {3, 4, 5}, {8, 8, 8}} {
+		nx, ny, nz := dims[0], dims[1], dims[2]
+		m, err := Stencil27(nx, ny, nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.N != nx*ny*nz {
+			t.Errorf("%v: N = %d", dims, m.N)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v: %v", dims, err)
+		}
+		if got, want := m.NNZ(), Stencil27NNZ(nx, ny, nz); got != want {
+			t.Errorf("%v: NNZ = %d, formula says %d", dims, got, want)
+		}
+		// Row sums: diagonal 26, each neighbour -1, so row sum =
+		// 26 - (neighbours). Interior rows sum to 0 exactly.
+		if nx >= 3 && ny >= 3 && nz >= 3 {
+			interior := 1 + nx*(1+ny*1) // point (1,1,1)
+			var sum float64
+			for p := m.RowPtr[interior]; p < m.RowPtr[interior+1]; p++ {
+				sum += m.Vals[p]
+			}
+			if sum != 0 {
+				t.Errorf("%v: interior row sum = %v", dims, sum)
+			}
+		}
+	}
+	if _, err := Stencil27(0, 1, 1); err == nil {
+		t.Error("degenerate grid should fail")
+	}
+}
+
+func TestStencil27SPD(t *testing.T) {
+	// SPD check via x'Ax > 0 for random-ish x.
+	m, _ := Stencil27(4, 4, 4)
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = math.Cos(float64(3 * i))
+	}
+	y := make([]float64, m.N)
+	m.SpMV(x, y)
+	if q := linalg.Dot(x, y); q <= 0 {
+		t.Errorf("x'Ax = %v, matrix not PD", q)
+	}
+}
+
+func TestBenchmark1Spec(t *testing.T) {
+	s := Benchmark1Spec()
+	rows := s.Rows()
+	// Within 1% of the paper's 9,573,984 dof.
+	if math.Abs(float64(rows)-9573984)/9573984 > 0.01 {
+		t.Errorf("Benchmark1 rows = %d", rows)
+	}
+	// Density within 15% of the paper's 72.7 nnz/row (ours is slightly
+	// denser because the paper's matrix loses entries to constrained
+	// boundary dof).
+	density := float64(s.NNZ()) / float64(rows)
+	if density < 60 || density > 85 {
+		t.Errorf("Benchmark1 density = %v nnz/row", density)
+	}
+}
+
+func TestStructuralAssembleMatchesFormulas(t *testing.T) {
+	s := StructuralSpec{NX: 3, NY: 4, NZ: 2, DofPerNode: 2}
+	m, err := s.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(m.N) != s.Rows() {
+		t.Errorf("rows %d vs formula %d", m.N, s.Rows())
+	}
+	if m.NNZ() != s.NNZ() {
+		t.Errorf("nnz %d vs formula %d", m.NNZ(), s.NNZ())
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuralSymmetric(t *testing.T) {
+	s := StructuralSpec{NX: 3, NY: 3, NZ: 3, DofPerNode: 2}
+	m, err := s.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A == Aᵀ entry by entry.
+	get := func(i, j int) float64 {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.ColIdx[p]) == j {
+				return m.Vals[p]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := int(m.ColIdx[p])
+			if got := get(j, i); got != m.Vals[p] {
+				t.Fatalf("asymmetry at (%d,%d): %v vs %v", i, j, m.Vals[p], got)
+			}
+		}
+	}
+}
+
+func TestStructuralDiagonallyDominant(t *testing.T) {
+	s := StructuralSpec{NX: 4, NY: 3, NZ: 3, DofPerNode: 3}
+	m, err := s.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N; i++ {
+		var off float64
+		var diag float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.ColIdx[p]) == i {
+				diag = m.Vals[p]
+			} else {
+				off += math.Abs(m.Vals[p])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: %v vs %v", i, diag, off)
+		}
+	}
+}
+
+func TestStructuralInvalidSpec(t *testing.T) {
+	if _, err := (StructuralSpec{NX: 0, NY: 1, NZ: 1, DofPerNode: 1}).Assemble(); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestRandomSPD(t *testing.T) {
+	m, err := RandomSPD(50, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Positive definite check via Gauss-Seidel convergence.
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, m.N)
+	for it := 0; it < 100; it++ {
+		m.SymGS(b, x)
+	}
+	r := make([]float64, m.N)
+	m.SpMV(x, r)
+	if linalg.AbsDiffMax(r, b) > 1e-8 {
+		t.Errorf("SymGS on SPD matrix failed to converge: %v", linalg.AbsDiffMax(r, b))
+	}
+}
+
+// Property: Stencil27NNZ formula equals assembled NNZ.
+func TestStencilNNZProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		nx, ny, nz := int(a%5)+1, int(b%5)+1, int(c%5)+1
+		m, err := Stencil27(nx, ny, nz)
+		if err != nil {
+			return false
+		}
+		return m.NNZ() == Stencil27NNZ(nx, ny, nz)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SpMV is linear: A(x+y) == Ax + Ay.
+func TestSpMVLinearityProperty(t *testing.T) {
+	m, err := Stencil27(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		x := make([]float64, m.N)
+		y := make([]float64, m.N)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000) / 1000
+		}
+		for i := range x {
+			x[i], y[i] = next(), next()
+		}
+		xy := make([]float64, m.N)
+		for i := range xy {
+			xy[i] = x[i] + y[i]
+		}
+		ax, ay, axy := make([]float64, m.N), make([]float64, m.N), make([]float64, m.N)
+		m.SpMV(x, ax)
+		m.SpMV(y, ay)
+		m.SpMV(xy, axy)
+		for i := range axy {
+			if math.Abs(axy[i]-(ax[i]+ay[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

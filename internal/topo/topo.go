@@ -1,0 +1,230 @@
+// Package topo models the network topologies of the five systems in the
+// study: the Fujitsu TofuD 6D mesh/torus, Cray's Aries dragonfly (ARCHER),
+// fat-tree InfiniBand fabrics (Cirrus FDR, Fulhame EDR) and Intel OmniPath
+// (EPCC NGIO, also a fat tree).
+//
+// A topology answers one question for the cost model: how many switch/link
+// hops separate two nodes. The netmodel package turns hop counts into
+// latency. Topologies are deterministic functions of node indices so
+// simulations are reproducible.
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology reports hop distances between nodes of a machine.
+type Topology interface {
+	// Name identifies the topology for diagnostics.
+	Name() string
+	// Hops returns the number of network hops (links traversed) between
+	// two node indices. Hops(a,a) is 0.
+	Hops(a, b int) int
+	// MaxNodes is the largest node index the topology supports plus one;
+	// 0 means unbounded.
+	MaxNodes() int
+}
+
+// Torus is a k-dimensional wraparound mesh. Node i maps to mixed-radix
+// coordinates over Dims, and distance is the sum of per-dimension ring
+// distances — the routing metric of Tofu-style interconnects.
+type Torus struct {
+	// Dims are the per-dimension extents, all ≥ 1.
+	Dims []int
+	// Label overrides the default name when non-empty.
+	Label string
+}
+
+// NewTofuD builds a torus shaped like the Tofu Interconnect D unit
+// structure for a machine of at least `nodes` nodes. TofuD composes 2×3×2
+// node groups into a 3D torus of groups; we factor the machine the same
+// way: dims = (X, Y, 2, 3, 2) with X·Y sized to cover the node count.
+func NewTofuD(nodes int) *Torus {
+	if nodes < 1 {
+		nodes = 1
+	}
+	group := 2 * 3 * 2 // 12-node TofuD unit
+	groups := (nodes + group - 1) / group
+	// Arrange groups in as square an XY torus as possible.
+	x := int(math.Sqrt(float64(groups)))
+	if x < 1 {
+		x = 1
+	}
+	y := (groups + x - 1) / x
+	return &Torus{Dims: []int{x, y, 2, 3, 2}, Label: "TofuD"}
+}
+
+// Name implements Topology.
+func (t *Torus) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return fmt.Sprintf("torus%v", t.Dims)
+}
+
+// MaxNodes implements Topology.
+func (t *Torus) MaxNodes() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// coords converts a node index to mixed-radix coordinates.
+func (t *Torus) coords(i int) []int {
+	c := make([]int, len(t.Dims))
+	for d := len(t.Dims) - 1; d >= 0; d-- {
+		c[d] = i % t.Dims[d]
+		i /= t.Dims[d]
+	}
+	return c
+}
+
+// Hops implements Topology using per-dimension ring distance.
+func (t *Torus) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ca, cb := t.coords(a), t.coords(b)
+	total := 0
+	for d := range t.Dims {
+		diff := ca[d] - cb[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		wrap := t.Dims[d] - diff
+		if wrap < diff {
+			diff = wrap
+		}
+		total += diff
+	}
+	return total
+}
+
+// Dragonfly models the Cray Aries topology used by ARCHER: nodes attach in
+// groups; routers within a group are all-to-all connected, and every group
+// pair has a direct global link. Minimal routing is therefore at most
+// local + global + local = 3 router-to-router hops, plus the two
+// node-to-router links.
+type Dragonfly struct {
+	// NodesPerRouter is the number of nodes per Aries router (4 on XC30).
+	NodesPerRouter int
+	// RoutersPerGroup is the number of routers in a group (96 per
+	// two-cabinet group on XC30).
+	RoutersPerGroup int
+}
+
+// NewAries returns the ARCHER XC30 dragonfly configuration.
+func NewAries() *Dragonfly {
+	return &Dragonfly{NodesPerRouter: 4, RoutersPerGroup: 96}
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string { return "dragonfly" }
+
+// MaxNodes implements Topology (unbounded: groups scale out).
+func (d *Dragonfly) MaxNodes() int { return 0 }
+
+// Hops implements Topology. Distances: same router 2 (node-router-node),
+// same group 3, different group 5 (two node links + local,global,local).
+func (d *Dragonfly) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := a/d.NodesPerRouter, b/d.NodesPerRouter
+	if ra == rb {
+		return 2
+	}
+	ga, gb := ra/d.RoutersPerGroup, rb/d.RoutersPerGroup
+	if ga == gb {
+		return 3
+	}
+	return 5
+}
+
+// FatTree models a non-blocking fat tree (InfiniBand or OmniPath): nodes
+// under the same leaf switch are 2 hops apart, anything further is routed
+// through the core for 4 hops. Non-blocking means no bandwidth penalty is
+// modelled for the extra tier; only latency grows.
+type FatTree struct {
+	// NodesPerLeaf is the number of nodes per leaf (edge) switch.
+	NodesPerLeaf int
+	// Label names the fabric (e.g. "EDR fat-tree").
+	Label string
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fat-tree"
+}
+
+// MaxNodes implements Topology (unbounded).
+func (f *FatTree) MaxNodes() int { return 0 }
+
+// Hops implements Topology.
+func (f *FatTree) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if f.NodesPerLeaf > 0 && a/f.NodesPerLeaf == b/f.NodesPerLeaf {
+		return 2
+	}
+	return 4
+}
+
+// MeanHops estimates the average hop distance over the first n nodes of a
+// topology, used by collective cost models to choose an effective latency.
+// For n ≤ 1 it returns 0. Small machines are enumerated exactly; beyond
+// meanHopsExactLimit nodes a deterministic pair sample keeps the cost
+// bounded (the estimate converges fast because hop distributions are
+// narrow).
+func MeanHops(t Topology, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if m := t.MaxNodes(); m > 0 && n > m {
+		n = m
+	}
+	if n <= meanHopsExactLimit {
+		sum, cnt := 0, 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				sum += t.Hops(a, b)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return float64(sum) / float64(cnt)
+	}
+	// Deterministic sampling: a fixed-seed linear-congruential stream of
+	// pairs, reproducible across runs.
+	const samples = 1 << 16
+	var state uint64 = 0x9E3779B97F4A7C15
+	next := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	sum, cnt := 0, 0
+	for i := 0; i < samples; i++ {
+		a, b := next(), next()
+		if a == b {
+			continue
+		}
+		sum += t.Hops(a, b)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// meanHopsExactLimit bounds the O(n²) exact enumeration.
+const meanHopsExactLimit = 512

@@ -1,0 +1,172 @@
+// Package units provides strongly typed quantities used throughout the
+// simulator: byte counts, floating-point operation counts, rates and
+// virtual durations, together with parsing and formatting helpers.
+//
+// Keeping these as distinct types (rather than bare float64/int64) catches a
+// whole class of unit-confusion bugs at compile time — e.g. adding a byte
+// count to a flop count, or passing GB/s where B/s is expected.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Bytes is a number of bytes. It is an integer count; memory-traffic
+// estimates that are fractional should be rounded by the caller.
+type Bytes int64
+
+// Common byte sizes.
+const (
+	B   Bytes = 1
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+)
+
+// String renders the byte count using binary prefixes with two decimals.
+func (b Bytes) String() string {
+	switch {
+	case b >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(b)/float64(TiB))
+	case b >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(GiB))
+	case b >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// Flops is a count of double-precision floating point operations.
+type Flops float64
+
+// Common flop magnitudes.
+const (
+	Flop  Flops = 1
+	KFlop Flops = 1e3
+	MFlop Flops = 1e6
+	GFlop Flops = 1e9
+	TFlop Flops = 1e12
+)
+
+// String renders the flop count with decimal prefixes.
+func (f Flops) String() string {
+	switch {
+	case f >= TFlop:
+		return fmt.Sprintf("%.2f TFLOP", float64(f/TFlop))
+	case f >= GFlop:
+		return fmt.Sprintf("%.2f GFLOP", float64(f/GFlop))
+	case f >= MFlop:
+		return fmt.Sprintf("%.2f MFLOP", float64(f/MFlop))
+	case f >= KFlop:
+		return fmt.Sprintf("%.2f KFLOP", float64(f/KFlop))
+	default:
+		return fmt.Sprintf("%.0f FLOP", float64(f))
+	}
+}
+
+// FlopRate is a floating-point throughput in FLOP per second.
+type FlopRate float64
+
+// Common rates.
+const (
+	FlopPerSec  FlopRate = 1
+	GFlopPerSec FlopRate = 1e9
+	TFlopPerSec FlopRate = 1e12
+)
+
+// GFLOPs reports the rate in GFLOP/s as a plain float64, the unit used by
+// the paper's tables.
+func (r FlopRate) GFLOPs() float64 { return float64(r) / 1e9 }
+
+// String renders the rate in the most natural decimal prefix.
+func (r FlopRate) String() string {
+	switch {
+	case r >= TFlopPerSec:
+		return fmt.Sprintf("%.2f TFLOP/s", float64(r/TFlopPerSec))
+	case r >= GFlopPerSec:
+		return fmt.Sprintf("%.2f GFLOP/s", float64(r/GFlopPerSec))
+	default:
+		return fmt.Sprintf("%.2f MFLOP/s", float64(r)/1e6)
+	}
+}
+
+// ByteRate is a memory or network bandwidth in bytes per second.
+type ByteRate float64
+
+// Common bandwidth magnitudes (decimal, as vendors quote them).
+const (
+	BytePerSec ByteRate = 1
+	MBPerSec   ByteRate = 1e6
+	GBPerSec   ByteRate = 1e9
+	TBPerSec   ByteRate = 1e12
+)
+
+// String renders the bandwidth with decimal prefixes.
+func (r ByteRate) String() string {
+	switch {
+	case r >= TBPerSec:
+		return fmt.Sprintf("%.2f TB/s", float64(r/TBPerSec))
+	case r >= GBPerSec:
+		return fmt.Sprintf("%.2f GB/s", float64(r/GBPerSec))
+	default:
+		return fmt.Sprintf("%.2f MB/s", float64(r/MBPerSec))
+	}
+}
+
+// Duration is a simulated (virtual) duration. It deliberately reuses
+// time.Duration's representation so the standard formatting applies, but a
+// distinct named type keeps virtual and wall-clock durations apart in
+// signatures.
+type Duration time.Duration
+
+// Duration constructors and conversions.
+const (
+	Nanosecond  Duration = Duration(time.Nanosecond)
+	Microsecond Duration = Duration(time.Microsecond)
+	Millisecond Duration = Duration(time.Millisecond)
+	Second      Duration = Duration(time.Second)
+)
+
+// Seconds reports the duration in seconds.
+func (d Duration) Seconds() float64 { return time.Duration(d).Seconds() }
+
+// String formats the duration via time.Duration.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// DurationFromSeconds converts a floating-point number of seconds into a
+// Duration, saturating rather than overflowing for absurd values.
+func DurationFromSeconds(s float64) Duration {
+	if math.IsNaN(s) || s < 0 {
+		return 0
+	}
+	ns := s * 1e9
+	if ns > float64(math.MaxInt64) {
+		return Duration(math.MaxInt64)
+	}
+	return Duration(ns)
+}
+
+// TimeFor returns the duration needed to process `amount` units of work at
+// `rate` units per second. A non-positive rate yields zero (callers model
+// "free" phases that way, e.g. overlapped transfers).
+func TimeFor(amount float64, rate float64) Duration {
+	if rate <= 0 || amount <= 0 {
+		return 0
+	}
+	return DurationFromSeconds(amount / rate)
+}
+
+// Rate returns amount/duration in units per second; zero duration gives 0.
+func Rate(amount float64, d Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return amount / s
+}

@@ -1,0 +1,132 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{KiB, "1.00 KiB"},
+		{3 * MiB / 2, "1.50 MiB"},
+		{8 * GiB, "8.00 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFlopsString(t *testing.T) {
+	cases := []struct {
+		in   Flops
+		want string
+	}{
+		{500, "500 FLOP"},
+		{2 * KFlop, "2.00 KFLOP"},
+		{38.26 * GFlop, "38.26 GFLOP"},
+		{1.5 * TFlop, "1.50 TFLOP"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Flops(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFlopRateGFLOPs(t *testing.T) {
+	r := FlopRate(38.26e9)
+	if got := r.GFLOPs(); math.Abs(got-38.26) > 1e-9 {
+		t.Errorf("GFLOPs() = %v, want 38.26", got)
+	}
+	if s := r.String(); !strings.Contains(s, "GFLOP/s") {
+		t.Errorf("String() = %q, want GFLOP/s suffix", s)
+	}
+}
+
+func TestByteRateString(t *testing.T) {
+	if s := (256 * GBPerSec).String(); s != "256.00 GB/s" {
+		t.Errorf("got %q", s)
+	}
+	if s := (1.024 * TBPerSec).String(); s != "1.02 TB/s" {
+		t.Errorf("got %q", s)
+	}
+}
+
+func TestDurationFromSeconds(t *testing.T) {
+	d := DurationFromSeconds(1.5)
+	if d != Duration(1500*time.Millisecond) {
+		t.Errorf("got %v", d)
+	}
+	if DurationFromSeconds(-1) != 0 {
+		t.Error("negative seconds should clamp to zero")
+	}
+	if DurationFromSeconds(math.NaN()) != 0 {
+		t.Error("NaN seconds should clamp to zero")
+	}
+	if DurationFromSeconds(1e300) != Duration(math.MaxInt64) {
+		t.Error("huge seconds should saturate")
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	// 10 GFLOP at 2 GFLOP/s takes 5 s.
+	d := TimeFor(10e9, 2e9)
+	if got := d.Seconds(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("TimeFor = %v s, want 5", got)
+	}
+	if TimeFor(100, 0) != 0 {
+		t.Error("zero rate must give zero duration")
+	}
+	if TimeFor(0, 100) != 0 {
+		t.Error("zero amount must give zero duration")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(10e9, DurationFromSeconds(2)); math.Abs(got-5e9) > 1 {
+		t.Errorf("Rate = %v, want 5e9", got)
+	}
+	if Rate(10, 0) != 0 {
+		t.Error("zero duration must give zero rate")
+	}
+}
+
+// Property: TimeFor and Rate are inverses for positive inputs within
+// nanosecond quantisation error.
+func TestTimeForRateRoundTrip(t *testing.T) {
+	f := func(amountRaw, rateRaw uint32) bool {
+		amount := float64(amountRaw%1e6) + 1
+		rate := float64(rateRaw%1e6) + 1
+		d := TimeFor(amount, rate)
+		back := Rate(amount, d)
+		// Nanosecond rounding means we tolerate relative error ~1e-6.
+		return math.Abs(back-rate)/rate < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: durations from seconds are monotone.
+func TestDurationMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return DurationFromSeconds(x) <= DurationFromSeconds(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

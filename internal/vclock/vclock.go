@@ -1,0 +1,144 @@
+// Package vclock implements the virtual-time machinery for the simulator.
+//
+// Every simulated MPI rank owns a Clock that advances only through explicit
+// Advance calls (compute phases) or AdvanceTo calls (synchronisation with
+// messages from other ranks). Because ranks execute as goroutines in real
+// time but account in virtual time, causality is maintained purely through
+// the message-coupling rule: a receive completes at
+//
+//	max(receiver clock, sender clock at send + transfer time)
+//
+// which is the standard conservative parallel-discrete-event-simulation
+// rule for a system whose only inter-rank dependencies are messages.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+
+	"a64fxbench/internal/units"
+)
+
+// Time is an absolute virtual timestamp, measured from the start of the
+// simulated job.
+type Time units.Duration
+
+// Seconds reports the timestamp as seconds since job start.
+func (t Time) Seconds() float64 { return units.Duration(t).Seconds() }
+
+// String formats the timestamp as a duration from job start.
+func (t Time) String() string { return units.Duration(t).String() }
+
+// Add returns the timestamp shifted by d.
+func (t Time) Add(d units.Duration) Time { return t + Time(d) }
+
+// Max returns the later of two timestamps.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is one simulated rank's notion of time. It is not safe for
+// concurrent use by multiple goroutines; each rank goroutine owns its clock
+// exclusively, and cross-rank reads happen only through message timestamps.
+type Clock struct {
+	now Time
+	// busy accumulates time spent in compute phases, wait accumulates
+	// time spent blocked on communication; the two partition total time
+	// and drive the profiler output.
+	busy units.Duration
+	wait units.Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by a compute-phase duration.
+// Negative durations are a programming error and panic.
+func (c *Clock) Advance(d units.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %v", d))
+	}
+	c.now = c.now.Add(d)
+	c.busy += d
+}
+
+// AdvanceTo moves the clock to at least t, recording any jump as
+// communication wait time. Moving to a time in the past is a no-op (the
+// rank was simply ahead of the message).
+func (c *Clock) AdvanceTo(t Time) {
+	if t <= c.now {
+		return
+	}
+	c.wait += units.Duration(t - c.now)
+	c.now = t
+}
+
+// BusyTime reports cumulative compute time.
+func (c *Clock) BusyTime() units.Duration { return c.busy }
+
+// WaitTime reports cumulative communication-wait time.
+func (c *Clock) WaitTime() units.Duration { return c.wait }
+
+// Reset returns the clock to time zero and clears the accumulators.
+func (c *Clock) Reset() { *c = Clock{} }
+
+// Stamp couples a payload with the virtual time at which it becomes
+// available to a receiver. It is the unit of virtual-time information
+// carried by every simulated message.
+type Stamp struct {
+	// Available is the virtual time at which the message is fully
+	// delivered: send time + network transfer cost.
+	Available Time
+}
+
+// Frontier tracks the maximum virtual time observed across a set of ranks.
+// It is safe for concurrent use; ranks report their finish times as they
+// complete, and the caller reads the overall makespan afterwards.
+type Frontier struct {
+	mu  sync.Mutex
+	max Time
+	n   int
+	sum float64
+}
+
+// Observe records a rank's finishing time.
+func (f *Frontier) Observe(t Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t > f.max {
+		f.max = t
+	}
+	f.n++
+	f.sum += t.Seconds()
+}
+
+// Makespan returns the latest observed time — the simulated job duration.
+func (f *Frontier) Makespan() Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.max
+}
+
+// MeanSeconds returns the average of observed finish times in seconds,
+// useful for load-imbalance diagnostics. Zero if nothing was observed.
+func (f *Frontier) MeanSeconds() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n == 0 {
+		return 0
+	}
+	return f.sum / float64(f.n)
+}
+
+// Count reports how many observations were recorded.
+func (f *Frontier) Count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}

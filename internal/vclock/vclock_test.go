@@ -1,0 +1,133 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"a64fxbench/internal/units"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(units.DurationFromSeconds(1.5))
+	c.Advance(units.DurationFromSeconds(0.5))
+	if got := c.Now().Seconds(); got != 2.0 {
+		t.Errorf("Now = %v s, want 2", got)
+	}
+	if got := c.BusyTime().Seconds(); got != 2.0 {
+		t.Errorf("BusyTime = %v s, want 2", got)
+	}
+	if c.WaitTime() != 0 {
+		t.Errorf("WaitTime = %v, want 0", c.WaitTime())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(units.Second)
+	// Jump forward: wait time recorded.
+	c.AdvanceTo(Time(3 * units.Second))
+	if got := c.Now().Seconds(); got != 3.0 {
+		t.Errorf("Now = %v, want 3", got)
+	}
+	if got := c.WaitTime().Seconds(); got != 2.0 {
+		t.Errorf("WaitTime = %v, want 2", got)
+	}
+	// Jump backward: no-op.
+	c.AdvanceTo(Time(units.Second))
+	if got := c.Now().Seconds(); got != 3.0 {
+		t.Errorf("Now after past AdvanceTo = %v, want 3", got)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative advance")
+		}
+	}()
+	NewClock().Advance(-units.Second)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(units.Second)
+	c.AdvanceTo(Time(5 * units.Second))
+	c.Reset()
+	if c.Now() != 0 || c.BusyTime() != 0 || c.WaitTime() != 0 {
+		t.Error("Reset did not clear clock state")
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b := Time(units.Second), Time(2*units.Second)
+	if Max(a, b) != b || Max(b, a) != b || Max(a, a) != a {
+		t.Error("Max is wrong")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	var f Frontier
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Observe(Time(units.Duration(i) * units.Second))
+		}(i)
+	}
+	wg.Wait()
+	if got := f.Makespan().Seconds(); got != 8.0 {
+		t.Errorf("Makespan = %v, want 8", got)
+	}
+	if got := f.MeanSeconds(); got != 4.5 {
+		t.Errorf("MeanSeconds = %v, want 4.5", got)
+	}
+	if f.Count() != 8 {
+		t.Errorf("Count = %d, want 8", f.Count())
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	var f Frontier
+	if f.MeanSeconds() != 0 || f.Makespan() != 0 || f.Count() != 0 {
+		t.Error("empty frontier should be all zero")
+	}
+}
+
+// Property: clock time is always busy+wait partitioned — Now equals the sum
+// of busy and wait accumulation for any interleaving of operations.
+func TestClockPartitionProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		for i, s := range steps {
+			d := units.Duration(s) * units.Microsecond
+			if i%2 == 0 {
+				c.Advance(d)
+			} else {
+				c.AdvanceTo(c.Now().Add(d))
+			}
+		}
+		return units.Duration(c.Now()) == c.BusyTime()+c.WaitTime()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AdvanceTo is idempotent and monotone.
+func TestAdvanceToMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := NewClock()
+		ta := Time(units.Duration(a) * units.Microsecond)
+		tb := Time(units.Duration(b) * units.Microsecond)
+		c.AdvanceTo(ta)
+		c.AdvanceTo(tb)
+		want := Max(ta, tb)
+		return c.Now() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
