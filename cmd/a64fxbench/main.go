@@ -13,12 +13,15 @@
 //
 //	-quick      reduce simulated iteration counts (fast smoke runs)
 //	-compare    show paper-vs-measured deltas beside each value
+//	-j N        run up to N experiments concurrently (default GOMAXPROCS)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"a64fxbench"
 )
@@ -27,6 +30,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduce simulated iteration counts for fast runs")
 	compare := flag.Bool("compare", false, "show paper references and deltas beside each value")
 	format := flag.String("format", "text", "output format: text, chart, json or csv")
+	jobs := flag.Int("j", 0, "max concurrent experiments (0 = GOMAXPROCS)")
+	failFast := flag.Bool("failfast", false, "cancel remaining experiments after the first failure")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -34,6 +39,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	cfg := sweepConfig{
+		quick: *quick, compare: *compare, format: *format,
+		jobs: *jobs, failFast: *failFast,
+	}
+	// Ctrl-C cancels experiments that have not started; running ones
+	// finish (the sweep engine documents this), then the partial summary
+	// prints.
+	ctx, stop := signal.NotifyContext(rootContext(), os.Interrupt)
+	defer stop()
 	var err error
 	switch args[0] {
 	case "list":
@@ -45,7 +59,7 @@ func main() {
 			err = fmt.Errorf("run needs at least one experiment id")
 			break
 		}
-		err = run(args[1:], *quick, *compare, *format)
+		err = runSweep(ctx, os.Stdout, os.Stderr, args[1:], cfg)
 	case "ext":
 		var ids []string
 		if len(args) > 1 {
@@ -55,13 +69,13 @@ func main() {
 				ids = append(ids, e.ID)
 			}
 		}
-		err = run(ids, *quick, *compare, *format)
+		err = runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
 	case "all":
 		var ids []string
 		for _, e := range a64fxbench.Experiments() {
 			ids = append(ids, e.ID)
 		}
-		err = run(ids, *quick, *compare, *format)
+		err = runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
 	case "micro":
 		name := ""
 		if len(args) > 1 {
@@ -106,11 +120,16 @@ usage:
   a64fxbench validate                    self-check against the paper's values
 
 flags:
-  -quick    reduce simulated iteration counts (fast smoke runs)
-  -compare  show paper-vs-measured deltas beside each value
-  -format   text (default), chart, json or csv
+  -quick     reduce simulated iteration counts (fast smoke runs)
+  -compare   show paper-vs-measured deltas beside each value
+  -format    text (default), chart, json or csv
+  -j N       run up to N experiments concurrently (0 = GOMAXPROCS)
+  -failfast  cancel remaining experiments after the first failure
 `)
 }
+
+// rootContext is the base context of the process (a seam for tests).
+func rootContext() context.Context { return context.Background() }
 
 func list() error {
 	for _, e := range a64fxbench.Experiments() {
@@ -139,40 +158,3 @@ func sysinfo() error {
 	return nil
 }
 
-func run(ids []string, quick, compare bool, format string) error {
-	for _, id := range ids {
-		e, err := a64fxbench.GetExperiment(id)
-		if err != nil {
-			if e2, err2 := a64fxbench.GetExtension(id); err2 == nil {
-				e = e2
-			} else {
-				return err
-			}
-		}
-		art, err := e.Run(a64fxbench.Options{Quick: quick})
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		switch format {
-		case "json":
-			if err := art.WriteJSON(os.Stdout); err != nil {
-				return err
-			}
-		case "csv":
-			if err := art.WriteCSV(os.Stdout); err != nil {
-				return err
-			}
-		case "chart":
-			fmt.Println(art.RenderChart())
-		case "text", "":
-			if compare {
-				fmt.Println(art.RenderComparison())
-			} else {
-				fmt.Println(art.Render())
-			}
-		default:
-			return fmt.Errorf("unknown format %q", format)
-		}
-	}
-	return nil
-}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"a64fxbench"
+	"a64fxbench/internal/sweep"
+)
+
+// sweepConfig carries the CLI flags that shape a sweep.
+type sweepConfig struct {
+	quick    bool
+	compare  bool
+	format   string
+	jobs     int // worker bound; ≤ 0 means GOMAXPROCS
+	failFast bool
+}
+
+// runSweep executes the requested experiments on the concurrent sweep
+// engine and renders every artifact, in input order, to out. Failures do
+// not abort the remaining experiments (unless failFast is set): completed
+// artifacts are still rendered, a partial-results summary goes to errw,
+// and a non-nil error makes the process exit non-zero.
+func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepConfig) error {
+	switch cfg.format {
+	case "text", "", "chart", "json", "csv":
+	default:
+		return fmt.Errorf("unknown format %q", cfg.format)
+	}
+	eng := sweep.New(cfg.jobs)
+	eng.FailFast = cfg.failFast
+	results := eng.Run(ctx, ids, a64fxbench.Options{Quick: cfg.quick})
+
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if err := renderArtifact(out, r.Artifact, cfg); err != nil {
+			return err
+		}
+	}
+	sum := sweep.Summarize(results)
+	if len(results) > 1 {
+		fmt.Fprintf(errw, "sweep: %s (%s of simulated-experiment compute)\n",
+			sum, sum.Elapsed.Round(1e6))
+		for _, r := range results {
+			if r.Err == nil {
+				fmt.Fprintf(errw, "  %-14s ok      %8s%s\n",
+					r.ID, r.Elapsed.Round(1e6), cachedNote(r))
+			}
+		}
+	}
+	if sum.Failed+sum.Skipped > 0 {
+		for _, r := range results {
+			if r.Err == nil {
+				continue
+			}
+			state := "failed"
+			if r.Skipped() {
+				state = "skipped"
+			}
+			fmt.Fprintf(errw, "  %-14s %-7s %v\n", r.ID, state, r.Err)
+		}
+		// FirstError skips cancellation errors; a sweep interrupted
+		// before any experiment failed has none, so fall back to the
+		// first skip cause (e.g. "context canceled" after Ctrl-C).
+		cause := sweep.FirstError(results)
+		if cause == nil {
+			for _, r := range results {
+				if r.Err != nil {
+					cause = r.Err
+					break
+				}
+			}
+		}
+		return fmt.Errorf("sweep incomplete (%s): %w", sum, cause)
+	}
+	return nil
+}
+
+// cachedNote marks cache hits in the timing listing.
+func cachedNote(r sweep.Result) string {
+	if r.Cached {
+		return "  (cached)"
+	}
+	return ""
+}
+
+// renderArtifact writes one artifact in the selected format.
+func renderArtifact(out io.Writer, art *a64fxbench.Artifact, cfg sweepConfig) error {
+	switch cfg.format {
+	case "json":
+		return art.WriteJSON(out)
+	case "csv":
+		return art.WriteCSV(out)
+	case "chart":
+		_, err := fmt.Fprintln(out, art.RenderChart())
+		return err
+	default: // "text", ""
+		if cfg.compare {
+			_, err := fmt.Fprintln(out, art.RenderComparison())
+			return err
+		}
+		_, err := fmt.Fprintln(out, art.Render())
+		return err
+	}
+}

@@ -1,15 +1,21 @@
 package arch
 
 import (
+	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/units"
 )
 
+// deriveSeq makes registry IDs minted by tests unique across -count reruns.
+var deriveSeq atomic.Int64
+
 // TestTableISpecs pins the registry to the paper's Table I.
 func TestTableISpecs(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		id        ID
 		clock     float64
@@ -50,6 +56,7 @@ func TestTableISpecs(t *testing.T) {
 }
 
 func TestMemoryPerCore(t *testing.T) {
+	t.Parallel()
 	// Table I: 0.66 GB/core on A64FX, 4 GB/core on NGIO.
 	a := MustGet(A64FX)
 	got := float64(a.MemoryPerCore()) / float64(units.GiB)
@@ -63,12 +70,14 @@ func TestMemoryPerCore(t *testing.T) {
 }
 
 func TestGetUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := Get("nonexistent"); err == nil {
 		t.Error("expected error for unknown system")
 	}
 }
 
 func TestMustGetPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("MustGet should panic on unknown ID")
@@ -78,18 +87,28 @@ func TestMustGetPanics(t *testing.T) {
 }
 
 func TestAllOrder(t *testing.T) {
+	t.Parallel()
+	// Other tests may register derived systems concurrently, so assert
+	// the ordering invariant rather than an exact count: the five paper
+	// systems lead in IDs() order, and anything after them is sorted.
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d systems", len(all))
+	if len(all) < 5 {
+		t.Fatalf("All() returned %d systems, want at least 5", len(all))
 	}
 	for i, id := range IDs() {
 		if all[i].ID != id {
 			t.Errorf("All()[%d] = %s, want %s", i, all[i].ID, id)
 		}
 	}
+	for i := 6; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("derived systems out of order: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
 }
 
 func TestA64FXBandwidthAdvantage(t *testing.T) {
+	t.Parallel()
 	// The HBM2 node must have several times the bandwidth of every
 	// DDR system — the paper's central architectural point.
 	a := MustGet(A64FX).Node.PeakBandwidth()
@@ -102,6 +121,7 @@ func TestA64FXBandwidthAdvantage(t *testing.T) {
 }
 
 func TestFulhameStreamCitation(t *testing.T) {
+	t.Parallel()
 	// §II: "STREAM triad memory bandwidth in excess of 240 GB/s per
 	// dual-socket node" on ThunderX2.
 	bw := MustGet(Fulhame).Node.PeakBandwidth()
@@ -111,6 +131,7 @@ func TestFulhameStreamCitation(t *testing.T) {
 }
 
 func TestCostModelCalibrationPresent(t *testing.T) {
+	t.Parallel()
 	for _, s := range All() {
 		m := s.CostModel()
 		if len(m.Eff) == 0 {
@@ -130,6 +151,7 @@ func TestCostModelCalibrationPresent(t *testing.T) {
 }
 
 func TestPerRankCapabilityFullNode(t *testing.T) {
+	t.Parallel()
 	s := MustGet(A64FX)
 	// 48 ranks × 1 thread: each rank gets 1/48 of flops and bandwidth.
 	cap1 := s.PerRankCapability(48, 1)
@@ -151,6 +173,7 @@ func TestPerRankCapabilityFullNode(t *testing.T) {
 }
 
 func TestPerRankCapabilityHybrid(t *testing.T) {
+	t.Parallel()
 	s := MustGet(A64FX)
 	// The paper's best minikab config: 4 ranks/node × 12 threads
 	// (one per CMG). Each rank owns a CMG's worth of everything.
@@ -165,6 +188,7 @@ func TestPerRankCapabilityHybrid(t *testing.T) {
 }
 
 func TestPerRankCapabilitySingleCore(t *testing.T) {
+	t.Parallel()
 	// A lone rank on an idle node sees single-core bandwidth, not the
 	// saturated node bandwidth — that distinction drives Table V.
 	s := MustGet(NGIO)
@@ -176,6 +200,7 @@ func TestPerRankCapabilitySingleCore(t *testing.T) {
 }
 
 func TestPerRankModelUsesCalibration(t *testing.T) {
+	t.Parallel()
 	m := MustGet(A64FX).PerRankModel(48, 1)
 	w := perfmodel.WorkProfile{Class: perfmodel.SpMV, Flops: units.GFlop, Bytes: 1e9}
 	if m.PhaseTime(w, perfmodel.PhaseOptions{Cores: 1}) <= 0 {
@@ -184,6 +209,7 @@ func TestPerRankModelUsesCalibration(t *testing.T) {
 }
 
 func TestPerRankDegenerateArgs(t *testing.T) {
+	t.Parallel()
 	s := MustGet(ARCHER)
 	c := s.PerRankCapability(0, 0)
 	if c.Cores != 1 || c.TotalMemory() != s.MemoryPerNode() {
@@ -192,6 +218,7 @@ func TestPerRankDegenerateArgs(t *testing.T) {
 }
 
 func TestToolchainsTableII(t *testing.T) {
+	t.Parallel()
 	rows := Toolchains()
 	if len(rows) < 20 {
 		t.Fatalf("Table II has %d rows, expected ≥20", len(rows))
@@ -222,6 +249,7 @@ func TestToolchainsTableII(t *testing.T) {
 }
 
 func TestHasFastMathDetection(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		flags string
 		want  bool
@@ -241,6 +269,7 @@ func TestHasFastMathDetection(t *testing.T) {
 }
 
 func TestFabricConstruction(t *testing.T) {
+	t.Parallel()
 	for _, s := range All() {
 		f := s.NewFabric(16)
 		if f == nil || f.Topo == nil {
@@ -253,6 +282,7 @@ func TestFabricConstruction(t *testing.T) {
 }
 
 func TestCalibrationAccessors(t *testing.T) {
+	t.Parallel()
 	if Efficiencies(A64FX) == nil {
 		t.Error("Efficiencies(A64FX) missing")
 	}
@@ -272,7 +302,11 @@ func TestCalibrationAccessors(t *testing.T) {
 }
 
 func TestDerive(t *testing.T) {
-	d, err := Derive(A64FX, "A64FX-test-derive", func(s *System) {
+	t.Parallel()
+	// Unique per invocation so -count=N reruns in one process don't
+	// collide in the global registry.
+	did := ID(fmt.Sprintf("A64FX-test-derive-%d", deriveSeq.Add(1)))
+	d, err := Derive(A64FX, did, func(s *System) {
 		s.Node.Domains[0].PeakBandwidth *= 2
 	})
 	if err != nil {
@@ -291,11 +325,11 @@ func TestDerive(t *testing.T) {
 		t.Error("derived system has no calibration")
 	}
 	// Registered and retrievable.
-	if got := MustGet("A64FX-test-derive"); got != d {
+	if got := MustGet(did); got != d {
 		t.Error("derived system not registered")
 	}
 	// Duplicates rejected.
-	if _, err := Derive(A64FX, "A64FX-test-derive", nil); err == nil {
+	if _, err := Derive(A64FX, did, nil); err == nil {
 		t.Error("duplicate derive should fail")
 	}
 	if _, err := Derive("nonexistent", "x", nil); err == nil {
@@ -304,6 +338,7 @@ func TestDerive(t *testing.T) {
 }
 
 func TestSetEfficienciesGuard(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("overwriting base calibration should panic")
@@ -313,6 +348,7 @@ func TestSetEfficienciesGuard(t *testing.T) {
 }
 
 func TestNUMASpanningPenalty(t *testing.T) {
+	t.Parallel()
 	s := MustGet(A64FX)
 	// One rank per CMG (12 threads): no penalty.
 	within := s.PerRankCapability(4, 12)
@@ -332,6 +368,7 @@ func TestNUMASpanningPenalty(t *testing.T) {
 }
 
 func TestTurboUnderpopulated(t *testing.T) {
+	t.Parallel()
 	// A single active core on NGIO clocks up; a full node does not.
 	s := MustGet(NGIO)
 	one := s.PerRankCapability(1, 1)

@@ -133,15 +133,26 @@ var fastMathGains = map[ID]map[perfmodel.KernelClass]float64{
 	},
 }
 
+// calibration returns both calibration tables for one system under the
+// registry lock. The returned maps are shared and treated as immutable
+// once published.
+func calibration(id ID) (map[perfmodel.KernelClass]perfmodel.Efficiency, map[perfmodel.KernelClass]float64) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return efficiencies[id], fastMathGains[id]
+}
+
 // Efficiencies exposes the calibration table for one system (read-only by
 // convention) so tests and reports can inspect it.
 func Efficiencies(id ID) map[perfmodel.KernelClass]perfmodel.Efficiency {
-	return efficiencies[id]
+	eff, _ := calibration(id)
+	return eff
 }
 
 // FastMathGains exposes the fast-math gain table for one system.
 func FastMathGains(id ID) map[perfmodel.KernelClass]float64 {
-	return fastMathGains[id]
+	_, gains := calibration(id)
+	return gains
 }
 
 // SetEfficiencies installs a calibration table for a derived (custom)
@@ -153,5 +164,7 @@ func SetEfficiencies(id ID, eff map[perfmodel.KernelClass]perfmodel.Efficiency) 
 			panic("arch: refusing to overwrite base calibration for " + string(id))
 		}
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	efficiencies[id] = eff
 }

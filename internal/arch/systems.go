@@ -12,6 +12,7 @@ package arch
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"a64fxbench/internal/netmodel"
 	"a64fxbench/internal/perfmodel"
@@ -83,10 +84,11 @@ func (s *System) PeakNodeGFlops() float64 { return s.Node.PeakFlops.GFLOPs() }
 
 // CostModel builds the calibrated roofline model for this system's nodes.
 func (s *System) CostModel() *perfmodel.CostModel {
+	eff, gains := calibration(s.ID)
 	return &perfmodel.CostModel{
 		Node:         s.Node,
-		Eff:          efficiencies[s.ID],
-		FastMathGain: fastMathGains[s.ID],
+		Eff:          eff,
+		FastMathGain: gains,
 	}
 }
 
@@ -151,10 +153,11 @@ func (s *System) PerRankCapability(ranksPerNode, threadsPerRank int) perfmodel.N
 // PerRankModel builds a calibrated cost model for one rank's share of a
 // node under the given process/thread layout.
 func (s *System) PerRankModel(ranksPerNode, threadsPerRank int) *perfmodel.CostModel {
+	eff, gains := calibration(s.ID)
 	return &perfmodel.CostModel{
 		Node:         s.PerRankCapability(ranksPerNode, threadsPerRank),
-		Eff:          efficiencies[s.ID],
-		FastMathGain: fastMathGains[s.ID],
+		Eff:          eff,
+		FastMathGain: gains,
 	}
 }
 
@@ -164,9 +167,31 @@ func (s *System) PerRankModel(ranksPerNode, threadsPerRank int) *perfmodel.CostM
 // entry point for ablation studies — e.g. "A64FX with DDR4 instead of
 // HBM2" — which inherit the base machine's kernel efficiencies.
 func Derive(base ID, newID ID, mutate func(*System)) (*System, error) {
-	b, err := Get(base)
-	if err != nil {
-		return nil, err
+	regMu.Lock()
+	defer regMu.Unlock()
+	return deriveLocked(base, newID, mutate, nil)
+}
+
+// DeriveOrGet returns the already-registered system newID, or atomically
+// derives it from base as Derive would. When eff is non-nil it becomes
+// the new system's calibration table, installed under the same lock so no
+// concurrent reader ever observes the system with the base calibration.
+// Concurrency-safe: two goroutines racing to create the same ablation
+// system both receive the one registered copy.
+func DeriveOrGet(base ID, newID ID, mutate func(*System), eff map[perfmodel.KernelClass]perfmodel.Efficiency) (*System, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s, ok := systems[newID]; ok {
+		return s, nil
+	}
+	return deriveLocked(base, newID, mutate, eff)
+}
+
+// deriveLocked implements Derive; regMu must be held.
+func deriveLocked(base ID, newID ID, mutate func(*System), eff map[perfmodel.KernelClass]perfmodel.Efficiency) (*System, error) {
+	b, ok := systems[base]
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown system %q", base)
 	}
 	if _, dup := systems[newID]; dup {
 		return nil, fmt.Errorf("arch: system %q already exists", newID)
@@ -178,19 +203,34 @@ func Derive(base ID, newID ID, mutate func(*System)) (*System, error) {
 	if mutate != nil {
 		mutate(&s)
 	}
-	// Share the base calibration under the new ID.
-	if _, ok := efficiencies[newID]; !ok {
+	if eff != nil {
+		efficiencies[newID] = eff
+		fastMathGains[newID] = fastMathGains[base]
+	} else if _, ok := efficiencies[newID]; !ok {
+		// Share the base calibration under the new ID.
 		efficiencies[newID] = efficiencies[base]
 		fastMathGains[newID] = fastMathGains[base]
 	}
-	register(&s)
+	registerLocked(&s)
 	return &s, nil
 }
 
-// systems holds the registry, keyed by ID.
-var systems = map[ID]*System{}
+// systems holds the registry, keyed by ID. regMu guards it together with
+// the calibration maps in calibration.go: the five base systems are
+// registered at init, but ablation studies (Derive) extend all three maps
+// at run time, possibly from concurrent sweep workers.
+var (
+	regMu   sync.RWMutex
+	systems = map[ID]*System{}
+)
 
 func register(s *System) *System {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registerLocked(s)
+}
+
+func registerLocked(s *System) *System {
 	if _, dup := systems[s.ID]; dup {
 		panic("arch: duplicate system " + string(s.ID))
 	}
@@ -200,7 +240,9 @@ func register(s *System) *System {
 
 // Get returns the system with the given ID.
 func Get(id ID) (*System, error) {
+	regMu.RLock()
 	s, ok := systems[id]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("arch: unknown system %q", id)
 	}
@@ -219,6 +261,8 @@ func MustGet(id ID) *System {
 // All returns every registered system in the paper's column order, then
 // any extras sorted by name.
 func All() []*System {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	var out []*System
 	seen := map[ID]bool{}
 	for _, id := range IDs() {

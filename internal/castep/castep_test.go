@@ -11,6 +11,7 @@ import (
 // --- Plane-wave numerics validation ---
 
 func TestFreeElectronEigenvalues(t *testing.T) {
+	t.Parallel()
 	// Empty lattice: the exact eigenvalues are ½|G|² = 0, ½, ½, ½, …
 	h, err := NewPlaneWaveHamiltonian(8, nil)
 	if err != nil {
@@ -27,6 +28,7 @@ func TestFreeElectronEigenvalues(t *testing.T) {
 }
 
 func TestPotentialShiftsGroundState(t *testing.T) {
+	t.Parallel()
 	// A constant potential shifts every eigenvalue by exactly c.
 	n := 6
 	c := 0.37
@@ -45,6 +47,7 @@ func TestPotentialShiftsGroundState(t *testing.T) {
 }
 
 func TestApplyHermitian(t *testing.T) {
+	t.Parallel()
 	// ⟨φ|Hψ⟩ == conj(⟨ψ|Hφ⟩).
 	n := 4
 	v := make([]float64, n*n*n)
@@ -78,6 +81,7 @@ func TestApplyHermitian(t *testing.T) {
 }
 
 func TestHamiltonianValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewPlaneWaveHamiltonian(1, nil); err == nil {
 		t.Error("grid 1 should fail")
 	}
@@ -87,6 +91,7 @@ func TestHamiltonianValidation(t *testing.T) {
 }
 
 func TestSubspaceFlops(t *testing.T) {
+	t.Parallel()
 	if SubspaceFlops(10, 100) <= 0 {
 		t.Error("flop formula must be positive")
 	}
@@ -100,6 +105,7 @@ func TestSubspaceFlops(t *testing.T) {
 // --- Metered benchmark ---
 
 func TestLegalCores(t *testing.T) {
+	t.Parallel()
 	// Factors of 8 (1,2,4,8) and multiples of 8.
 	sys := arch.MustGet(arch.Cirrus) // 36 cores
 	cs := LegalCores(sys)
@@ -134,6 +140,7 @@ var paperTable9 = map[arch.ID]struct {
 }
 
 func TestTableIX(t *testing.T) {
+	t.Parallel()
 	for id, want := range paperTable9 {
 		res, err := Run(Config{System: arch.MustGet(id)})
 		if err != nil {
@@ -149,6 +156,7 @@ func TestTableIX(t *testing.T) {
 }
 
 func TestTableIXOrdering(t *testing.T) {
+	t.Parallel()
 	// §VII.B: NGIO fastest, then A64FX ≈ Fulhame, then Cirrus, ARCHER
 	// last; A64FX beats ThunderX2 with fewer cores but does not match
 	// Cascade Lake.
@@ -172,6 +180,7 @@ func TestTableIXOrdering(t *testing.T) {
 }
 
 func TestFigure5MonotoneScaling(t *testing.T) {
+	t.Parallel()
 	// Single-node performance increases with core count on every
 	// system over the legal counts.
 	for _, id := range arch.IDs() {
@@ -192,6 +201,7 @@ func TestFigure5MonotoneScaling(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}
@@ -205,6 +215,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestPaperTiNConstants(t *testing.T) {
+	t.Parallel()
 	tc := PaperTiN()
 	if tc.Bands <= 0 || tc.Grid <= 0 || tc.PlaneWaves <= 0 || tc.FFTPairsPerBandPerCycle <= 0 {
 		t.Errorf("degenerate TiN case %+v", tc)

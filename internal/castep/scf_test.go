@@ -6,6 +6,7 @@ import (
 )
 
 func TestSCFValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSCF(1, 1, nil, 0.1, 0.5); err == nil {
 		t.Error("grid 1 should fail")
 	}
@@ -21,6 +22,7 @@ func TestSCFValidation(t *testing.T) {
 }
 
 func TestSCFNonInteractingConvergesImmediately(t *testing.T) {
+	t.Parallel()
 	// Coupling 0: the potential never changes, so the density settles
 	// as soon as the minimiser does.
 	s, err := NewSCF(6, 2, nil, 0, 1.0)
@@ -34,6 +36,7 @@ func TestSCFNonInteractingConvergesImmediately(t *testing.T) {
 }
 
 func TestSCFInteractingConverges(t *testing.T) {
+	t.Parallel()
 	// A weak local coupling: SCF must still converge, to a density
 	// that is self-consistent with its own potential.
 	n := 6
@@ -72,6 +75,7 @@ func TestSCFInteractingConverges(t *testing.T) {
 }
 
 func TestSCFDensityFollowsPotentialWell(t *testing.T) {
+	t.Parallel()
 	// With an attractive well at the origin, density should peak there
 	// (no interaction so the effect is clean).
 	n := 8

@@ -7,6 +7,7 @@ import (
 )
 
 func TestRenderChartFigure(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		ID: "figx", Title: "Chart", Kind: Figure,
 		Columns:   []string{"1", "2", "4"},
@@ -29,6 +30,7 @@ func TestRenderChartFigure(t *testing.T) {
 }
 
 func TestRenderChartTableFallsBack(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		ID: "t", Title: "T", Kind: Table,
 		Columns: []string{"a"}, RowLabels: []string{"r"},
@@ -40,6 +42,7 @@ func TestRenderChartTableFallsBack(t *testing.T) {
 }
 
 func TestRenderChartEmpty(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		ID: "f", Title: "F", Kind: Figure,
 		Columns: []string{"a"}, RowLabels: []string{"r"},
@@ -51,6 +54,7 @@ func TestRenderChartEmpty(t *testing.T) {
 }
 
 func TestSparkClamping(t *testing.T) {
+	t.Parallel()
 	if spark(5, 0, 10) != sparkLevels[3] {
 		t.Errorf("midpoint spark = %c", spark(5, 0, 10))
 	}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	// Every table and figure of the paper's evaluation is registered.
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "fig1", "fig2",
@@ -31,18 +32,21 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestGetUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := Get("table99"); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestGetCaseInsensitive(t *testing.T) {
+	t.Parallel()
 	if _, err := Get("Table3"); err != nil {
 		t.Errorf("Get should be case-insensitive: %v", err)
 	}
 }
 
 func TestCellFormatting(t *testing.T) {
+	t.Parallel()
 	c := Cell{Value: 38.26, Paper: 38.26, Format: "%.2f"}
 	if got := c.format(); got != "38.26" {
 		t.Errorf("format = %q", got)
@@ -64,6 +68,7 @@ func TestCellFormatting(t *testing.T) {
 }
 
 func TestStaticTablesRun(t *testing.T) {
+	t.Parallel()
 	for _, id := range []string{"table1", "table2", "table8"} {
 		e, _ := Get(id)
 		a, err := e.Run(Options{})
@@ -81,6 +86,7 @@ func TestStaticTablesRun(t *testing.T) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
+	t.Parallel()
 	e, _ := Get("table1")
 	a, err := e.Run(Options{})
 	if err != nil {
@@ -95,6 +101,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestTable3QuickWithinTolerance(t *testing.T) {
+	t.Parallel()
 	e, _ := Get("table3")
 	a, err := e.Run(Options{Quick: true})
 	if err != nil {
@@ -116,6 +123,7 @@ func TestTable3QuickWithinTolerance(t *testing.T) {
 }
 
 func TestTable8ExactMatch(t *testing.T) {
+	t.Parallel()
 	e, _ := Get("table8")
 	a, err := e.Run(Options{})
 	if err != nil {
@@ -127,6 +135,7 @@ func TestTable8ExactMatch(t *testing.T) {
 }
 
 func TestFig4ShapesQuick(t *testing.T) {
+	t.Parallel()
 	e, _ := Get("fig4")
 	a, err := e.Run(Options{Quick: true})
 	if err != nil {
@@ -166,6 +175,7 @@ func TestFig4ShapesQuick(t *testing.T) {
 }
 
 func TestRenderAlignment(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		ID: "t", Title: "T", Kind: Table,
 		Columns:   []string{"col"},
@@ -184,6 +194,7 @@ func TestRenderAlignment(t *testing.T) {
 }
 
 func TestMaxAbsDeviationIgnoresUnreferenced(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		Cells: [][]Cell{{
 			{Value: 10, Paper: math.NaN()},

@@ -40,7 +40,11 @@ var _ = register(&Experiment{
 			Columns: []string{"Processor", "Clock", "Cores/proc", "Cores/node",
 				"Threads/core", "Vector", "Peak GF/s", "Mem/node", "Mem/core"},
 		}
-		for _, s := range arch.All() {
+		// Exactly the paper's five systems — arch.All() would also list
+		// ablation systems derived by extension experiments, making the
+		// table depend on what else has already run.
+		for _, id := range arch.IDs() {
+			s := arch.MustGet(id)
 			a.RowLabels = append(a.RowLabels, string(s.ID))
 			a.Cells = append(a.Cells, []Cell{
 				txt(s.Processor),

@@ -23,6 +23,7 @@ func sampleArtifact() *Artifact {
 }
 
 func TestWriteJSON(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := sampleArtifact().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -50,6 +51,7 @@ func TestWriteJSON(t *testing.T) {
 }
 
 func TestWriteCSV(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := sampleArtifact().WriteCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -78,6 +80,7 @@ func TestWriteCSV(t *testing.T) {
 }
 
 func TestWriteCSVNoPaperColumns(t *testing.T) {
+	t.Parallel()
 	a := &Artifact{
 		Columns:   []string{"a"},
 		RowLabels: []string{"r"},
@@ -94,6 +97,7 @@ func TestWriteCSVNoPaperColumns(t *testing.T) {
 }
 
 func TestExtensionsRegistry(t *testing.T) {
+	t.Parallel()
 	exts := Extensions()
 	if len(exts) < 3 {
 		t.Fatalf("expected ≥3 extensions, got %d", len(exts))
@@ -123,6 +127,7 @@ func TestExtensionsRegistry(t *testing.T) {
 }
 
 func TestExtNetworkRuns(t *testing.T) {
+	t.Parallel()
 	e, err := GetExtension("ext-network")
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +149,7 @@ func TestExtNetworkRuns(t *testing.T) {
 }
 
 func TestExtStencilRuns(t *testing.T) {
+	t.Parallel()
 	e, err := GetExtension("ext-stencil")
 	if err != nil {
 		t.Fatal(err)
@@ -160,6 +166,7 @@ func TestExtStencilRuns(t *testing.T) {
 }
 
 func TestExtFugakuRuns(t *testing.T) {
+	t.Parallel()
 	e, err := GetExtension("ext-fugaku")
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +193,7 @@ func TestExtFugakuRuns(t *testing.T) {
 }
 
 func TestExtNoiseRuns(t *testing.T) {
+	t.Parallel()
 	e, err := GetExtension("ext-noise")
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/hpcg"
@@ -14,20 +15,42 @@ import (
 
 // Extension experiments go beyond the paper: ablation studies on the
 // design choices DESIGN.md calls out. They live in their own registry so
-// the paper's 15 artifacts stay exactly the paper's 15.
+// the paper's 15 artifacts stay exactly the paper's 15. Unlike the paper
+// registry (sealed at init), extensions may be registered at run time, so
+// the map is lock-guarded.
 
-var extRegistry = map[string]*Experiment{}
+var (
+	extMu       sync.RWMutex
+	extRegistry = map[string]*Experiment{}
+)
 
 func registerExt(e *Experiment) *Experiment {
+	if err := RegisterExtension(e); err != nil {
+		panic("core: " + err.Error())
+	}
+	return e
+}
+
+// RegisterExtension adds a custom ablation experiment to the extension
+// registry. It is safe for concurrent use and fails on a duplicate or
+// incomplete experiment.
+func RegisterExtension(e *Experiment) error {
+	if e == nil || e.ID == "" || e.Run == nil {
+		return fmt.Errorf("core: extension needs an ID and a Run function")
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
 	if _, dup := extRegistry[e.ID]; dup {
-		panic("core: duplicate extension " + e.ID)
+		return fmt.Errorf("core: duplicate extension %s", e.ID)
 	}
 	extRegistry[e.ID] = e
-	return e
+	return nil
 }
 
 // Extensions lists the ablation experiments, sorted by ID.
 func Extensions() []*Experiment {
+	extMu.RLock()
+	defer extMu.RUnlock()
 	var out []*Experiment
 	for _, e := range extRegistry {
 		out = append(out, e)
@@ -38,6 +61,8 @@ func Extensions() []*Experiment {
 
 // GetExtension looks an extension up by ID.
 func GetExtension(id string) (*Experiment, error) {
+	extMu.RLock()
+	defer extMu.RUnlock()
 	if e, ok := extRegistry[id]; ok {
 		return e, nil
 	}
@@ -81,15 +106,12 @@ var _ = registerExt(&Experiment{
 		var ref float64
 		for _, f := range fabrics {
 			sysID := arch.ID("A64FX+" + f.name)
-			sys, err := arch.Get(sysID)
+			donor := arch.MustGet(f.from)
+			sys, err := arch.DeriveOrGet(arch.A64FX, sysID, func(s *arch.System) {
+				s.NewFabric = donor.NewFabric
+			}, nil)
 			if err != nil {
-				donor := arch.MustGet(f.from)
-				sys, err = arch.Derive(arch.A64FX, sysID, func(s *arch.System) {
-					s.NewFabric = donor.NewFabric
-				})
-				if err != nil {
-					return nil, err
-				}
+				return nil, err
 			}
 			_ = base
 			res, err := hpcg.Run(hpcg.Config{System: sys, Nodes: 8, Iterations: iters})
@@ -208,19 +230,17 @@ var _ = registerExt(&Experiment{
 				sec = meas.Seconds
 			case 1:
 				sysID := arch.ID("A64FX-goodstencil")
-				sys, err := arch.Get(sysID)
+				// Patched calibration copy, installed atomically with
+				// the derived system so concurrent sweep workers never
+				// observe it with the base StencilFD efficiency.
+				eff := make(map[perfmodel.KernelClass]perfmodel.Efficiency)
+				for k, v := range arch.Efficiencies(arch.A64FX) {
+					eff[k] = v
+				}
+				eff[perfmodel.StencilFD] = r.eff
+				sys, err := arch.DeriveOrGet(arch.A64FX, sysID, nil, eff)
 				if err != nil {
-					sys, err = arch.Derive(arch.A64FX, sysID, nil)
-					if err != nil {
-						return nil, err
-					}
-					// Patch the derived system's calibration copy.
-					eff := make(map[perfmodel.KernelClass]perfmodel.Efficiency)
-					for k, v := range arch.Efficiencies(arch.A64FX) {
-						eff[k] = v
-					}
-					eff[perfmodel.StencilFD] = r.eff
-					arch.SetEfficiencies(sysID, eff)
+					return nil, err
 				}
 				res, err := opensbli.Run(opensbli.Config{System: sys, Nodes: 1, Case: tc})
 				if err != nil {

@@ -11,6 +11,7 @@ import (
 // --- Harmonic-balance operator ---
 
 func TestHBValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewHarmonicBalance(0, 1); err == nil {
 		t.Error("0 harmonics should fail")
 	}
@@ -27,6 +28,7 @@ func TestHBValidation(t *testing.T) {
 }
 
 func TestHBDerivativeExactOnHarmonics(t *testing.T) {
+	t.Parallel()
 	// The spectral derivative is exact for sin(kωt), cos(kωt), k ≤ N.
 	omega := 3.0
 	hb, err := NewHarmonicBalance(3, omega)
@@ -53,6 +55,7 @@ func TestHBDerivativeExactOnHarmonics(t *testing.T) {
 }
 
 func TestHBDerivativeOfConstantIsZero(t *testing.T) {
+	t.Parallel()
 	hb, _ := NewHarmonicBalance(4, 1)
 	m := hb.Instances()
 	u := make([]float64, m)
@@ -70,6 +73,7 @@ func TestHBDerivativeOfConstantIsZero(t *testing.T) {
 
 // Property: the HB derivative is a linear operator.
 func TestHBLinearityProperty(t *testing.T) {
+	t.Parallel()
 	hb, _ := NewHarmonicBalance(2, 1.7)
 	m := hb.Instances()
 	f := func(raw [5]int8, scale int8) bool {
@@ -103,6 +107,7 @@ func TestHBLinearityProperty(t *testing.T) {
 // --- Block HB solver (validation-scale COSA) ---
 
 func TestHBSolverManufacturedSolution(t *testing.T) {
+	t.Parallel()
 	omega := 1.0
 	hb, err := NewHarmonicBalance(2, omega)
 	if err != nil {
@@ -134,6 +139,7 @@ func TestHBSolverManufacturedSolution(t *testing.T) {
 }
 
 func TestHBSolverResidualDecreases(t *testing.T) {
+	t.Parallel()
 	hb, _ := NewHarmonicBalance(1, 2.0)
 	s, err := NewHBSolver(hb, 2, 8, 8, 0.5, 0.5, 1.0)
 	if err != nil {
@@ -158,6 +164,7 @@ func TestHBSolverResidualDecreases(t *testing.T) {
 }
 
 func TestHBSolverValidation(t *testing.T) {
+	t.Parallel()
 	hb, _ := NewHarmonicBalance(1, 1)
 	if _, err := NewHBSolver(hb, 0, 8, 8, 1, 1, 1); err == nil {
 		t.Error("zero blocks should fail")
@@ -170,6 +177,7 @@ func TestHBSolverValidation(t *testing.T) {
 // --- Metered benchmark ---
 
 func TestPaperTestCase(t *testing.T) {
+	t.Parallel()
 	tc := PaperTestCase()
 	if tc.Harmonics != 4 || tc.Blocks != 800 || tc.Cells != 3690218 {
 		t.Errorf("test case drifted: %+v", tc)
@@ -183,6 +191,7 @@ func TestPaperTestCase(t *testing.T) {
 }
 
 func TestA64FXNeedsTwoNodes(t *testing.T) {
+	t.Parallel()
 	// §VII.3: the case does not fit one 32 GB A64FX node.
 	sys := arch.MustGet(arch.A64FX)
 	if _, err := Run(Config{System: sys, Nodes: 1}); err == nil {
@@ -200,6 +209,7 @@ func TestA64FXNeedsTwoNodes(t *testing.T) {
 }
 
 func TestFigure4A64FXFastestUntil16(t *testing.T) {
+	t.Parallel()
 	// A64FX outperforms every other system at 2–8 nodes.
 	for _, nodes := range []int{2, 4, 8} {
 		a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: nodes})
@@ -219,6 +229,7 @@ func TestFigure4A64FXFastestUntil16(t *testing.T) {
 }
 
 func TestFigure4FulhameOvertakesAt16(t *testing.T) {
+	t.Parallel()
 	// The paper's crossover: at 16 nodes Fulhame wins because its 1024
 	// ranks leave every active rank exactly one block, while the
 	// A64FX's 768 ranks give 32 of them two.
@@ -246,6 +257,7 @@ func TestFigure4FulhameOvertakesAt16(t *testing.T) {
 }
 
 func TestStrongScalingMonotone(t *testing.T) {
+	t.Parallel()
 	for _, id := range arch.IDs() {
 		sys := arch.MustGet(id)
 		start := 1
@@ -267,6 +279,7 @@ func TestStrongScalingMonotone(t *testing.T) {
 }
 
 func TestTableVIIIProcessesPerNode(t *testing.T) {
+	t.Parallel()
 	want := map[arch.ID]int{
 		arch.A64FX: 48, arch.ARCHER: 24, arch.Cirrus: 36,
 		arch.Fulhame: 64, arch.NGIO: 48,
@@ -280,6 +293,7 @@ func TestTableVIIIProcessesPerNode(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}

@@ -31,6 +31,7 @@ func mgProblem(t *testing.T, levels int) (*MGSolver, func(x, y, tt float64) floa
 }
 
 func TestMGValidation(t *testing.T) {
+	t.Parallel()
 	hb, _ := NewHarmonicBalance(1, 1)
 	if _, err := NewMGSolver(hb, 2, 16, 32, 1, 1, 1, 0, 0.01); err == nil {
 		t.Error("0 levels should fail")
@@ -41,6 +42,7 @@ func TestMGValidation(t *testing.T) {
 }
 
 func TestMGConverges(t *testing.T) {
+	t.Parallel()
 	m, uE := mgProblem(t, 2)
 	cycles, resid := m.Solve(1e-4, 500)
 	if resid > 1e-4 {
@@ -52,6 +54,7 @@ func TestMGConverges(t *testing.T) {
 }
 
 func TestMGBeatsSingleLevel(t *testing.T) {
+	t.Parallel()
 	// Multigrid reaches the tolerance in far fewer fine-level sweeps
 	// than single-level pseudo-time stepping — the reason COSA uses MG.
 	fineSweepsPerCycle := 1 + 4 + 4 // Cycle() step + pre + post smooths
@@ -80,6 +83,7 @@ func TestMGBeatsSingleLevel(t *testing.T) {
 }
 
 func TestMGResidualNormFinite(t *testing.T) {
+	t.Parallel()
 	m, _ := mgProblem(t, 2)
 	if r := m.ResidualNorm(); math.IsInf(r, 1) || math.IsNaN(r) {
 		t.Errorf("residual norm = %v", r)

@@ -187,11 +187,12 @@ func sqrtApprox(x float64) float64 {
 }
 
 // ProcessesPerNode reproduces Table VIII: the MPI processes per node used
-// on each system (one per core).
+// on each system (one per core). Only the paper's five systems appear —
+// derived ablation systems are not part of Table VIII.
 func ProcessesPerNode() map[arch.ID]int {
 	out := make(map[arch.ID]int)
-	for _, s := range arch.All() {
-		out[s.ID] = s.CoresPerNode()
+	for _, id := range arch.IDs() {
+		out[id] = arch.MustGet(id).CoresPerNode()
 	}
 	return out
 }

@@ -12,6 +12,7 @@ import (
 )
 
 func TestFactor3D(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		p          int
 		px, py, pz int
@@ -33,6 +34,7 @@ func TestFactor3D(t *testing.T) {
 }
 
 func TestFactor2D(t *testing.T) {
+	t.Parallel()
 	if px, py := Factor2D(12); px != 4 || py != 3 {
 		t.Errorf("Factor2D(12) = %d,%d", px, py)
 	}
@@ -45,6 +47,7 @@ func TestFactor2D(t *testing.T) {
 }
 
 func TestGridCoordsRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := NewGrid3D(48)
 	if g.Size() != 48 {
 		t.Fatalf("size = %d", g.Size())
@@ -58,6 +61,7 @@ func TestGridCoordsRoundTrip(t *testing.T) {
 }
 
 func TestCoordsPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -67,6 +71,7 @@ func TestCoordsPanicsOutOfRange(t *testing.T) {
 }
 
 func TestNeighborAcross(t *testing.T) {
+	t.Parallel()
 	g := Grid3D{PX: 2, PY: 2, PZ: 2}
 	// Rank 0 is at (0,0,0): neighbours exist only in + directions.
 	if g.NeighborAcross(0, XMinus) != -1 {
@@ -87,6 +92,7 @@ func TestNeighborAcross(t *testing.T) {
 }
 
 func TestFaceBytes(t *testing.T) {
+	t.Parallel()
 	// X faces of a 4×5×6 block with width 1 and 8-byte cells: 5·6·8.
 	if got := FaceBytes(XPlus, 4, 5, 6, 1, 8); got != 240 {
 		t.Errorf("X face = %d", got)
@@ -125,6 +131,7 @@ func testJob(p, nodes int) simmpi.JobConfig {
 }
 
 func TestExchangeCompletes(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 4, 8, 12} {
 		p := p
 		g := NewGrid3D(p)
@@ -148,6 +155,7 @@ func TestExchangeCompletes(t *testing.T) {
 }
 
 func TestExchangeByteAccounting(t *testing.T) {
+	t.Parallel()
 	// 2 ranks in a 2×1×1 grid exchange one X face each per call.
 	g := Grid3D{PX: 2, PY: 1, PZ: 1}
 	spec := HaloSpec{NX: 4, NY: 5, NZ: 6, Width: 1, Elem: 8}
@@ -168,6 +176,7 @@ func TestExchangeByteAccounting(t *testing.T) {
 }
 
 func TestBlockPartition(t *testing.T) {
+	t.Parallel()
 	b := BlockPartition{N: 800, P: 768}
 	// 800 blocks over 768 procs: 32 procs get 2 blocks, rest get 1 —
 	// the paper's Fig. 4 load-imbalance case.
@@ -204,6 +213,7 @@ func TestBlockPartition(t *testing.T) {
 
 // Property: Factor3D always multiplies back to p, ordered descending.
 func TestFactor3DProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint16) bool {
 		p := int(raw%2048) + 1
 		a, b, c := Factor3D(p)
@@ -216,6 +226,7 @@ func TestFactor3DProperty(t *testing.T) {
 
 // Property: partition parts sum to N and differ by at most 1.
 func TestBlockPartitionProperty(t *testing.T) {
+	t.Parallel()
 	f := func(nRaw, pRaw uint16) bool {
 		n, p := int(nRaw%5000), int(pRaw%1024)+1
 		b := BlockPartition{N: n, P: p}

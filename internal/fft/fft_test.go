@@ -28,6 +28,7 @@ func maxErr(a, b []complex128) float64 {
 }
 
 func TestIsPow2(t *testing.T) {
+	t.Parallel()
 	for _, c := range []struct {
 		n    int
 		want bool
@@ -39,6 +40,7 @@ func TestIsPow2(t *testing.T) {
 }
 
 func TestForwardMatchesNaive(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 30, 64, 100} {
 		x := randSlice(n, int64(n))
 		want := NaiveDFT(x, false)
@@ -51,6 +53,7 @@ func TestForwardMatchesNaive(t *testing.T) {
 }
 
 func TestInverseMatchesNaive(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{2, 3, 8, 12, 64} {
 		x := randSlice(n, int64(100+n))
 		want := NaiveDFT(x, true)
@@ -63,6 +66,7 @@ func TestInverseMatchesNaive(t *testing.T) {
 }
 
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 2, 5, 8, 17, 48, 128} {
 		x := randSlice(n, int64(200+n))
 		got := append([]complex128(nil), x...)
@@ -75,6 +79,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestParseval(t *testing.T) {
+	t.Parallel()
 	// Σ|x|² == (1/n)·Σ|X|².
 	for _, n := range []int{8, 48, 100} {
 		x := randSlice(n, int64(300+n))
@@ -94,6 +99,7 @@ func TestParseval(t *testing.T) {
 }
 
 func TestImpulseResponse(t *testing.T) {
+	t.Parallel()
 	// DFT of a unit impulse is all ones.
 	n := 16
 	x := make([]complex128, n)
@@ -107,6 +113,7 @@ func TestImpulseResponse(t *testing.T) {
 }
 
 func TestFlops(t *testing.T) {
+	t.Parallel()
 	if Flops(1) != 0 {
 		t.Error("Flops(1) should be 0")
 	}
@@ -119,6 +126,7 @@ func TestFlops(t *testing.T) {
 }
 
 func TestGrid3DRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{2, 3, 4, 8} {
 		g := NewGrid3D(n)
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -135,6 +143,7 @@ func TestGrid3DRoundTrip(t *testing.T) {
 }
 
 func TestGrid3DPlaneWave(t *testing.T) {
+	t.Parallel()
 	// A single plane wave e^{2πi·(x·kx)/n} transforms to one spike.
 	n := 8
 	g := NewGrid3D(n)
@@ -164,6 +173,7 @@ func TestGrid3DPlaneWave(t *testing.T) {
 }
 
 func TestGrid3DAtSet(t *testing.T) {
+	t.Parallel()
 	g := NewGrid3D(3)
 	g.Set(1, 2, 0, 5)
 	if g.At(1, 2, 0) != 5 {
@@ -175,6 +185,7 @@ func TestGrid3DAtSet(t *testing.T) {
 }
 
 func TestNewGrid3DInvalid(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -185,6 +196,7 @@ func TestNewGrid3DInvalid(t *testing.T) {
 
 // Property: linearity of the transform.
 func TestLinearityProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, nRaw uint8) bool {
 		n := int(nRaw%30) + 2
 		x := randSlice(n, seed)
@@ -210,6 +222,7 @@ func TestLinearityProperty(t *testing.T) {
 
 // Property: round trip at arbitrary lengths.
 func TestRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, nRaw uint8) bool {
 		n := int(nRaw%100) + 1
 		x := randSlice(n, seed)

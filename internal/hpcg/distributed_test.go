@@ -58,6 +58,7 @@ func serialReference(t *testing.T, nx, ny, nz int, b []float64, iters int, tol f
 // TestDistributedStencilMatchesAssembledOperator checks the matrix-free
 // operator against the assembled CSR matrix, across rank counts.
 func TestDistributedStencilMatchesAssembledOperator(t *testing.T) {
+	t.Parallel()
 	nx, ny, nz := 6, 5, 8
 	a, err := sparse.Stencil27(nx, ny, nz)
 	if err != nil {
@@ -102,6 +103,7 @@ func TestDistributedStencilMatchesAssembledOperator(t *testing.T) {
 // TestDistributedStencilCGMatchesSerial runs the full distributed solve
 // and compares with the serial assembled-matrix CG.
 func TestDistributedStencilCGMatchesSerial(t *testing.T) {
+	t.Parallel()
 	nx, ny, nz := 8, 8, 12
 	n := nx * ny * nz
 	b := make([]float64, n)
@@ -147,6 +149,7 @@ func TestDistributedStencilCGMatchesSerial(t *testing.T) {
 }
 
 func TestDistributedStencilValidation(t *testing.T) {
+	t.Parallel()
 	_, err := simmpi.Run(distJob(4, 1), func(r *simmpi.Rank) error {
 		if _, err := NewDistributedStencilCG(r, 4, 4, 2); err == nil {
 			return fmt.Errorf("4 ranks over 2 planes should fail")
@@ -162,6 +165,7 @@ func TestDistributedStencilValidation(t *testing.T) {
 }
 
 func TestDistributedStencilZeroRHS(t *testing.T) {
+	t.Parallel()
 	_, err := simmpi.Run(distJob(2, 1), func(r *simmpi.Rank) error {
 		d, err := NewDistributedStencilCG(r, 4, 4, 4)
 		if err != nil {
@@ -181,6 +185,7 @@ func TestDistributedStencilZeroRHS(t *testing.T) {
 // TestBlockJacobiMGPreconditioner: the preconditioned distributed solve
 // reaches the same answer in fewer iterations.
 func TestBlockJacobiMGPreconditioner(t *testing.T) {
+	t.Parallel()
 	nx, ny, nz := 8, 8, 16
 	n := nx * ny * nz
 	b := make([]float64, n)
@@ -234,6 +239,7 @@ func TestBlockJacobiMGPreconditioner(t *testing.T) {
 }
 
 func TestEnableBlockJacobiMGValidation(t *testing.T) {
+	t.Parallel()
 	_, err := simmpi.Run(distJob(1, 1), func(r *simmpi.Rank) error {
 		d, err := NewDistributedStencilCG(r, 10, 10, 10)
 		if err != nil {

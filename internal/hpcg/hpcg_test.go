@@ -12,6 +12,7 @@ import (
 // --- Numerical validation of the real solver ---
 
 func TestSolverConverges(t *testing.T) {
+	t.Parallel()
 	s, err := NewSolver(16, 16, 16, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +39,7 @@ func TestSolverConverges(t *testing.T) {
 }
 
 func TestSolverResidualMonotone(t *testing.T) {
+	t.Parallel()
 	s, err := NewSolver(8, 8, 8, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -58,6 +60,7 @@ func TestSolverResidualMonotone(t *testing.T) {
 }
 
 func TestSolverZeroRHS(t *testing.T) {
+	t.Parallel()
 	s, _ := NewSolver(8, 8, 8, 2)
 	x, stats := s.Solve(make([]float64, s.N()), 10, 1e-10)
 	if !stats.Converged {
@@ -69,6 +72,7 @@ func TestSolverZeroRHS(t *testing.T) {
 }
 
 func TestSolverPreconditionerReducesError(t *testing.T) {
+	t.Parallel()
 	s, _ := NewSolver(16, 16, 16, 4)
 	n := s.N()
 	r := make([]float64, n)
@@ -90,6 +94,7 @@ func TestSolverPreconditionerReducesError(t *testing.T) {
 }
 
 func TestNewSolverValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSolver(10, 10, 10, 3); err == nil {
 		t.Error("grid not divisible by 4 should fail")
 	}
@@ -116,6 +121,7 @@ var paperTable3 = map[arch.ID]struct {
 }
 
 func TestTableIIISingleNode(t *testing.T) {
+	t.Parallel()
 	for id, want := range paperTable3 {
 		sys := arch.MustGet(id)
 		res, err := Run(Config{System: sys, Nodes: 1, Iterations: 5})
@@ -139,6 +145,7 @@ func TestTableIIISingleNode(t *testing.T) {
 }
 
 func TestA64FXBeatsAllSingleNode(t *testing.T) {
+	t.Parallel()
 	// The paper's headline: unoptimised A64FX beats even the optimised
 	// variants of every other system on HPCG.
 	a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 5})
@@ -157,6 +164,7 @@ func TestA64FXBeatsAllSingleNode(t *testing.T) {
 }
 
 func TestMultiNodeScaling(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	r1, err := Run(Config{System: sys, Nodes: 1, Iterations: 3})
 	if err != nil {
@@ -173,6 +181,7 @@ func TestMultiNodeScaling(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}
@@ -186,6 +195,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestPctPeak(t *testing.T) {
+	t.Parallel()
 	// Paper: A64FX achieves ≈1.1% of peak, ARCHER ≈3.0%.
 	res, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 3})
 	if err != nil {
@@ -204,6 +214,7 @@ func TestPctPeak(t *testing.T) {
 }
 
 func TestMemoryPerRankFitsA64FX(t *testing.T) {
+	t.Parallel()
 	// §V.A: 80³ per process was chosen to fit into the 32 GB node.
 	sys := arch.MustGet(arch.A64FX)
 	perRank := MemoryPerRank(Config{})
@@ -220,6 +231,7 @@ func TestMemoryPerRankFitsA64FX(t *testing.T) {
 }
 
 func TestOptimisedFasterEverywhere(t *testing.T) {
+	t.Parallel()
 	for _, id := range arch.IDs() {
 		sys := arch.MustGet(id)
 		u, err1 := Run(Config{System: sys, Nodes: 1, Iterations: 3})
@@ -235,6 +247,7 @@ func TestOptimisedFasterEverywhere(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	t.Parallel()
 	cfg := Config{System: arch.MustGet(arch.Fulhame), Nodes: 2, Iterations: 3}
 	a, err := Run(cfg)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestDot(t *testing.T) {
+	t.Parallel()
 	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
 		t.Errorf("Dot = %v, want 32", got)
 	}
@@ -19,6 +20,7 @@ func TestDot(t *testing.T) {
 }
 
 func TestDotMismatchPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -28,12 +30,14 @@ func TestDotMismatchPanics(t *testing.T) {
 }
 
 func TestNorm2(t *testing.T) {
+	t.Parallel()
 	if got := Norm2([]float64{3, 4}); got != 5 {
 		t.Errorf("Norm2 = %v, want 5", got)
 	}
 }
 
 func TestAxpyWaxpbyScale(t *testing.T) {
+	t.Parallel()
 	y := []float64{1, 1, 1}
 	Axpy(2, []float64{1, 2, 3}, y)
 	want := []float64{3, 5, 7}
@@ -57,6 +61,7 @@ func TestAxpyWaxpbyScale(t *testing.T) {
 }
 
 func TestCopyFillMax(t *testing.T) {
+	t.Parallel()
 	dst := make([]float64, 3)
 	Copy(dst, []float64{1, -5, 2})
 	if dst[1] != -5 {
@@ -75,6 +80,7 @@ func TestCopyFillMax(t *testing.T) {
 }
 
 func TestMatrixBasics(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(2, 3)
 	m.Set(1, 2, 42)
 	if m.At(1, 2) != 42 {
@@ -92,6 +98,7 @@ func TestMatrixBasics(t *testing.T) {
 }
 
 func TestMulVec(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(2, 3)
 	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
 	y := make([]float64, 2)
@@ -102,6 +109,7 @@ func TestMulVec(t *testing.T) {
 }
 
 func TestGemmAgainstNaive(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for _, dims := range [][3]int{{2, 3, 4}, {5, 5, 5}, {1, 7, 2}, {16, 16, 16}} {
 		m, n, k := dims[0], dims[1], dims[2]
@@ -138,6 +146,7 @@ func TestGemmAgainstNaive(t *testing.T) {
 }
 
 func TestGemmShapeMismatchPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -147,12 +156,14 @@ func TestGemmShapeMismatchPanics(t *testing.T) {
 }
 
 func TestGemmFlops(t *testing.T) {
+	t.Parallel()
 	if GemmFlops(2, 3, 4) != 48 {
 		t.Errorf("GemmFlops = %v", GemmFlops(2, 3, 4))
 	}
 }
 
 func TestCholeskySolve(t *testing.T) {
+	t.Parallel()
 	// SPD matrix A = Bᵀ·B + n·I.
 	rng := rand.New(rand.NewSource(2))
 	n := 8
@@ -185,6 +196,7 @@ func TestCholeskySolve(t *testing.T) {
 }
 
 func TestCholeskyNotSPD(t *testing.T) {
+	t.Parallel()
 	a := NewMatrix(2, 2)
 	a.Set(0, 0, -1)
 	if err := Cholesky(a); err == nil {
@@ -221,6 +233,7 @@ func naiveTensor3D(d *Matrix, u []float64, n, axis int) []float64 {
 }
 
 func TestTensorApply3D(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	n := 5
 	d := NewMatrix(n, n)
@@ -242,6 +255,7 @@ func TestTensorApply3D(t *testing.T) {
 }
 
 func TestTensorApply3DInvalidAxis(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -252,6 +266,7 @@ func TestTensorApply3DInvalidAxis(t *testing.T) {
 }
 
 func TestTensorApply3DFlops(t *testing.T) {
+	t.Parallel()
 	if TensorApply3DFlops(4) != 2*4*4*4*4 {
 		t.Error("flop count wrong")
 	}
@@ -259,6 +274,7 @@ func TestTensorApply3DFlops(t *testing.T) {
 
 // Property: Dot is symmetric and bilinear in the first argument.
 func TestDotProperties(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		if len(raw) < 2 {
 			return true
@@ -288,6 +304,7 @@ func TestDotProperties(t *testing.T) {
 
 // Property: Cholesky reconstructs the original matrix (L·Lᵀ = A).
 func TestCholeskyReconstructionProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4

@@ -8,6 +8,7 @@ import (
 )
 
 func TestStreamTriadReproducesSpecBandwidths(t *testing.T) {
+	t.Parallel()
 	// Full-node STREAM must land near each system's modelled peak
 	// bandwidth (VectorOp efficiency applies, so within a factor).
 	for _, id := range arch.IDs() {
@@ -28,6 +29,7 @@ func TestStreamTriadReproducesSpecBandwidths(t *testing.T) {
 }
 
 func TestStreamPaperCitations(t *testing.T) {
+	t.Parallel()
 	// §II: ThunderX2 nodes measure >240 GB/s triad... with the
 	// VectorOp efficiency our model lands close below spec; check the
 	// A64FX:Fulhame ratio instead, which the paper puts near 3.5×.
@@ -46,6 +48,7 @@ func TestStreamPaperCitations(t *testing.T) {
 }
 
 func TestStreamSaturationCurve(t *testing.T) {
+	t.Parallel()
 	// Bandwidth grows with cores and saturates: the last doubling gains
 	// less than the first.
 	sys := arch.MustGet(arch.A64FX)
@@ -68,6 +71,7 @@ func TestStreamSaturationCurve(t *testing.T) {
 }
 
 func TestStreamValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := StreamTriad(nil, []int{1}); err == nil {
 		t.Error("nil system should fail")
 	}
@@ -80,6 +84,7 @@ func TestStreamValidation(t *testing.T) {
 }
 
 func TestPingPongLatencyInMPIRange(t *testing.T) {
+	t.Parallel()
 	for _, id := range arch.IDs() {
 		sys := arch.MustGet(id)
 		res, err := PingPong(sys, []units.Bytes{0})
@@ -95,6 +100,7 @@ func TestPingPongLatencyInMPIRange(t *testing.T) {
 }
 
 func TestPingPongBandwidthApproachesLink(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	res, err := PingPong(sys, []units.Bytes{units.MiB, 16 * units.MiB})
 	if err != nil {
@@ -112,6 +118,7 @@ func TestPingPongBandwidthApproachesLink(t *testing.T) {
 }
 
 func TestPingPongTofuBeatsOmniPathLatency(t *testing.T) {
+	t.Parallel()
 	tofu, err := PingPong(arch.MustGet(arch.A64FX), []units.Bytes{0})
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +133,7 @@ func TestPingPongTofuBeatsOmniPathLatency(t *testing.T) {
 }
 
 func TestAllreduceSweepGrowsWithNodes(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.Fulhame)
 	res, err := AllreduceSweep(sys, []int{1, 2, 4, 8})
 	if err != nil {
@@ -144,6 +152,7 @@ func TestAllreduceSweepGrowsWithNodes(t *testing.T) {
 }
 
 func TestMicroValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := PingPong(nil, nil); err == nil {
 		t.Error("nil system should fail")
 	}

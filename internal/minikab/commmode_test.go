@@ -12,6 +12,7 @@ import (
 )
 
 func TestCommModeString(t *testing.T) {
+	t.Parallel()
 	if AllGatherMode.String() != "allgather" || HaloMode.String() != "halo" {
 		t.Error("mode names wrong")
 	}
@@ -21,6 +22,7 @@ func TestCommModeString(t *testing.T) {
 }
 
 func TestBandwidth(t *testing.T) {
+	t.Parallel()
 	// Tridiagonal: bandwidth 1.
 	a, err := sparse.RandomSPD(10, 2, 1)
 	if err != nil {
@@ -46,6 +48,7 @@ func TestBandwidth(t *testing.T) {
 // TestHaloModeMatchesAllGather: both communication approaches produce
 // the same solution, and halo mode moves fewer bytes.
 func TestHaloModeMatchesAllGather(t *testing.T) {
+	t.Parallel()
 	spec := sparse.StructuralSpec{NX: 4, NY: 4, NZ: 8, DofPerNode: 2}
 	a, err := spec.Assemble()
 	if err != nil {
@@ -99,6 +102,7 @@ func TestHaloModeMatchesAllGather(t *testing.T) {
 }
 
 func TestHaloModeRejectsTooManyRanks(t *testing.T) {
+	t.Parallel()
 	// Blocks smaller than the bandwidth are rejected.
 	spec := sparse.StructuralSpec{NX: 4, NY: 4, NZ: 4, DofPerNode: 2}
 	a, err := spec.Assemble()

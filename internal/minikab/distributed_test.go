@@ -36,6 +36,7 @@ func max(a, b int) int {
 // serial solver to tight tolerance for various rank counts, including
 // counts that do not divide the matrix size.
 func TestDistributedCGMatchesSerial(t *testing.T) {
+	t.Parallel()
 	spec := sparse.StructuralSpec{NX: 5, NY: 5, NZ: 5, DofPerNode: 2}
 	a, err := spec.Assemble()
 	if err != nil {
@@ -99,6 +100,7 @@ func TestDistributedCGMatchesSerial(t *testing.T) {
 
 // TestDistributedCGZeroRHS exercises the early-exit path.
 func TestDistributedCGZeroRHS(t *testing.T) {
+	t.Parallel()
 	a, err := sparse.RandomSPD(30, 4, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +125,7 @@ func TestDistributedCGZeroRHS(t *testing.T) {
 
 // TestDistributedCGBadRHS exercises the validation path.
 func TestDistributedCGBadRHS(t *testing.T) {
+	t.Parallel()
 	a, _ := sparse.RandomSPD(10, 2, 1)
 	_, err := simmpi.Run(distJob(2, 1), func(r *simmpi.Rank) error {
 		_, _, err := DistributedCG(r, a, make([]float64, 5), 10, 1e-10)
@@ -136,6 +139,7 @@ func TestDistributedCGBadRHS(t *testing.T) {
 // TestDistributedCGVirtualTimeScales: more ranks on one node should not
 // make the simulated solve slower than a single rank (it parallelises).
 func TestDistributedCGVirtualTime(t *testing.T) {
+	t.Parallel()
 	a, err := sparse.RandomSPD(4000, 8, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +166,7 @@ func TestDistributedCGVirtualTime(t *testing.T) {
 }
 
 func TestBlockRange(t *testing.T) {
+	t.Parallel()
 	// 10 rows over 3 ranks: 4, 3, 3.
 	cases := []struct{ id, lo, hi int }{{0, 0, 4}, {1, 4, 7}, {2, 7, 10}}
 	for _, c := range cases {

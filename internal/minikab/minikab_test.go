@@ -12,6 +12,7 @@ import (
 // --- Numerical validation ---
 
 func TestCGConverges(t *testing.T) {
+	t.Parallel()
 	spec := sparse.StructuralSpec{NX: 6, NY: 6, NZ: 6, DofPerNode: 3}
 	stats, err := VerifySolve(spec, 500, 1e-10)
 	if err != nil {
@@ -24,6 +25,7 @@ func TestCGConverges(t *testing.T) {
 }
 
 func TestCGJacobiHelps(t *testing.T) {
+	t.Parallel()
 	spec := sparse.StructuralSpec{NX: 5, NY: 5, NZ: 5, DofPerNode: 2}
 	a, err := spec.Assemble()
 	if err != nil {
@@ -45,6 +47,7 @@ func TestCGJacobiHelps(t *testing.T) {
 }
 
 func TestCGZeroRHS(t *testing.T) {
+	t.Parallel()
 	a, _ := sparse.RandomSPD(20, 4, 1)
 	x, stats := CG(a, make([]float64, 20), 10, 1e-10, false)
 	if !stats.Converged {
@@ -62,6 +65,7 @@ func TestCGZeroRHS(t *testing.T) {
 // TestTableVSingleCore pins the single-core runtimes to the paper's
 // Table V within 5%.
 func TestTableVSingleCore(t *testing.T) {
+	t.Parallel()
 	paper := map[arch.ID]float64{
 		arch.A64FX:   1182,
 		arch.NGIO:    1269,
@@ -82,6 +86,7 @@ func TestTableVSingleCore(t *testing.T) {
 // TestTableVOrdering pins the paper's headline: A64FX 7%-ish faster than
 // NGIO and just over 2× faster than Fulhame on one core.
 func TestTableVOrdering(t *testing.T) {
+	t.Parallel()
 	a, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, RanksPerNode: 1})
 	n, _ := Run(Config{System: arch.MustGet(arch.NGIO), Nodes: 1, RanksPerNode: 1})
 	f, _ := Run(Config{System: arch.MustGet(arch.Fulhame), Nodes: 1, RanksPerNode: 1})
@@ -99,6 +104,7 @@ func TestTableVOrdering(t *testing.T) {
 // TestFigure1MemoryConstraint: plain MPI cannot fully populate two A64FX
 // nodes (the largest feasible plain-MPI run is 48 processes).
 func TestFigure1MemoryConstraint(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	full := Config{System: sys, Nodes: 2, RanksPerNode: 48}
 	if FitsMemory(full) {
@@ -120,6 +126,7 @@ func TestFigure1MemoryConstraint(t *testing.T) {
 // TestFigure1FullCoresBeatUnderpopulated: using all 96 cores (hybrid)
 // beats the memory-limited 48-process plain MPI run.
 func TestFigure1FullCoresBeatUnderpopulated(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	iter := 50
 	plain, err := Run(Config{System: sys, Nodes: 2, RanksPerNode: 24, Iterations: iter})
@@ -140,6 +147,7 @@ func TestFigure1FullCoresBeatUnderpopulated(t *testing.T) {
 // shrinks), making 4×12 — one rank per CMG — the best option, as the
 // paper finds.
 func TestFigure1HybridOrdering(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	iter := 50
 	var prev float64
@@ -159,6 +167,7 @@ func TestFigure1HybridOrdering(t *testing.T) {
 // TestFigure2Shapes: A64FX outperforms Fulhame per node across the
 // figure's range, while Fulhame's parallel efficiency is at least as good.
 func TestFigure2Shapes(t *testing.T) {
+	t.Parallel()
 	iter := 100
 	a2cfg := BestA64FXConfig(2)
 	a2cfg.Iterations = iter
@@ -201,6 +210,7 @@ func TestFigure2Shapes(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}
@@ -211,6 +221,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestBenchmark1Constants(t *testing.T) {
+	t.Parallel()
 	m := Benchmark1()
 	if m.Rows != 9573984 || m.NNZ != 696096138 {
 		t.Errorf("Benchmark1 constants drifted: %+v", m)
@@ -221,6 +232,7 @@ func TestBenchmark1Constants(t *testing.T) {
 }
 
 func TestMemoryModelMonotonicity(t *testing.T) {
+	t.Parallel()
 	sys := arch.MustGet(arch.A64FX)
 	// More ranks per node always needs more memory (fixed state
 	// dominates the shrinking share).

@@ -6,6 +6,7 @@ import (
 )
 
 func TestMeshValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewMesh(0, 4); err == nil {
 		t.Error("0 elements should fail")
 	}
@@ -22,6 +23,7 @@ func TestMeshValidation(t *testing.T) {
 }
 
 func TestMeshMultiplicity(t *testing.T) {
+	t.Parallel()
 	m, _ := NewMesh(3, 4)
 	// Interior of each element: multiplicity 1; shared faces: 2.
 	twos := 0
@@ -41,6 +43,7 @@ func TestMeshMultiplicity(t *testing.T) {
 }
 
 func TestMeshDssumContinuity(t *testing.T) {
+	t.Parallel()
 	m, _ := NewMesh(2, 4)
 	u := make([]float64, m.Len())
 	for i := range u {
@@ -61,6 +64,7 @@ func TestMeshDssumContinuity(t *testing.T) {
 }
 
 func TestMeshAxSymmetric(t *testing.T) {
+	t.Parallel()
 	m, _ := NewMesh(3, 5)
 	total := m.Len()
 	mk := func(seed float64) []float64 {
@@ -94,6 +98,7 @@ func TestMeshAxSymmetric(t *testing.T) {
 // spectral-element solution of -∇²u = f matches a smooth manufactured
 // solution to near machine precision at modest order.
 func TestMeshPoissonSpectralAccuracy(t *testing.T) {
+	t.Parallel()
 	const E, n = 3, 10
 	m, err := NewMesh(E, n)
 	if err != nil {
@@ -134,6 +139,7 @@ func TestMeshPoissonSpectralAccuracy(t *testing.T) {
 }
 
 func TestMeshPoissonConvergesWithOrder(t *testing.T) {
+	t.Parallel()
 	// Error drops sharply as polynomial order rises (p-refinement).
 	errAt := func(n int) float64 {
 		m, err := NewMesh(2, n)
@@ -170,6 +176,7 @@ func TestMeshPoissonConvergesWithOrder(t *testing.T) {
 }
 
 func TestMeshGDotCountsSharedOnce(t *testing.T) {
+	t.Parallel()
 	m, _ := NewMesh(2, 4)
 	ones := make([]float64, m.Len())
 	for i := range ones {

@@ -12,6 +12,7 @@ import (
 // --- GLL machinery ---
 
 func TestGLLPointsSmall(t *testing.T) {
+	t.Parallel()
 	// n=2: endpoints only, weights 1,1.
 	x, w, err := GLLPoints(2)
 	if err != nil {
@@ -34,6 +35,7 @@ func TestGLLPointsSmall(t *testing.T) {
 }
 
 func TestGLLQuadratureExact(t *testing.T) {
+	t.Parallel()
 	// n-point GLL integrates polynomials up to degree 2n-3 exactly.
 	x, w, err := GLLPoints(6)
 	if err != nil {
@@ -56,6 +58,7 @@ func TestGLLQuadratureExact(t *testing.T) {
 }
 
 func TestGLLWeightsSumToTwo(t *testing.T) {
+	t.Parallel()
 	for n := 2; n <= 17; n++ {
 		_, w, err := GLLPoints(n)
 		if err != nil {
@@ -72,6 +75,7 @@ func TestGLLWeightsSumToTwo(t *testing.T) {
 }
 
 func TestDerivativeMatrixExactOnPolynomials(t *testing.T) {
+	t.Parallel()
 	n := 8
 	x, _, err := GLLPoints(n)
 	if err != nil {
@@ -101,6 +105,7 @@ func TestDerivativeMatrixExactOnPolynomials(t *testing.T) {
 // --- Element operator ---
 
 func TestAxAnnihilatesConstants(t *testing.T) {
+	t.Parallel()
 	// The Laplacian of a constant field is zero (pure Neumann operator).
 	e, err := NewElement(8, 1, 1, 1)
 	if err != nil {
@@ -116,6 +121,7 @@ func TestAxAnnihilatesConstants(t *testing.T) {
 }
 
 func TestAxSymmetric(t *testing.T) {
+	t.Parallel()
 	// v'Au == u'Av for the self-adjoint operator.
 	e, err := NewElement(5, 1, 0.7, 1.3)
 	if err != nil {
@@ -139,6 +145,7 @@ func TestAxSymmetric(t *testing.T) {
 }
 
 func TestAxPositiveSemiDefinite(t *testing.T) {
+	t.Parallel()
 	e, _ := NewElement(6, 1, 1, 1)
 	n3 := e.Points()
 	f := func(seed int64) bool {
@@ -158,6 +165,7 @@ func TestAxPositiveSemiDefinite(t *testing.T) {
 }
 
 func TestElementPoissonSolve(t *testing.T) {
+	t.Parallel()
 	// CG with the real ax kernel converges on the masked element.
 	e, err := NewElement(8, 1, 1, 1)
 	if err != nil {
@@ -175,6 +183,7 @@ func TestElementPoissonSolve(t *testing.T) {
 }
 
 func TestNewElementValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewElement(1, 1, 1, 1); err == nil {
 		t.Error("order 1 should fail")
 	}
@@ -184,6 +193,7 @@ func TestNewElementValidation(t *testing.T) {
 }
 
 func TestAxFlopsAndBytes(t *testing.T) {
+	t.Parallel()
 	if AxFlops(2) <= 0 || AxBytes(2) <= 0 {
 		t.Error("work formulas must be positive")
 	}
@@ -207,6 +217,7 @@ var paperTable6 = map[arch.ID]struct{ plain, fast float64 }{
 }
 
 func TestTableVINodePerformance(t *testing.T) {
+	t.Parallel()
 	for id, want := range paperTable6 {
 		sys := arch.MustGet(id)
 		plain, err := Run(Config{System: sys, Nodes: 1, Iterations: 20})
@@ -227,6 +238,7 @@ func TestTableVINodePerformance(t *testing.T) {
 }
 
 func TestFastMathDirections(t *testing.T) {
+	t.Parallel()
 	// -Kfast transforms A64FX performance; the NGIO equivalent hurts.
 	a, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 10})
 	af, _ := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 10, FastMath: true})
@@ -241,6 +253,7 @@ func TestFastMathDirections(t *testing.T) {
 }
 
 func TestGPUComparisonClaim(t *testing.T) {
+	t.Parallel()
 	// §VI.B.1: at 312 GFLOP/s the A64FX with fast math sits between a
 	// P100 (~200) and above a V100 (~300).
 	fast, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1, Iterations: 20, FastMath: true})
@@ -253,6 +266,7 @@ func TestGPUComparisonClaim(t *testing.T) {
 }
 
 func TestTableVIIParallelEfficiency(t *testing.T) {
+	t.Parallel()
 	// Weak-scaling PE stays ≥0.93 out to 16 nodes and declines with
 	// node count, as in Table VII.
 	for _, id := range []arch.ID{arch.A64FX, arch.Fulhame, arch.ARCHER} {
@@ -280,6 +294,7 @@ func TestTableVIIParallelEfficiency(t *testing.T) {
 }
 
 func TestFigure3CoreScaling(t *testing.T) {
+	t.Parallel()
 	// Weak scaling over cores: node throughput must increase with
 	// cores on every system.
 	for _, id := range arch.IDs() {
@@ -299,6 +314,7 @@ func TestFigure3CoreScaling(t *testing.T) {
 }
 
 func TestFigure3IntelTailsOff(t *testing.T) {
+	t.Parallel()
 	// Per-core efficiency at full node vs single core: the Arm chips
 	// hold their per-core rate better than the Intel chips (§VI.B.1).
 	ratio := func(id arch.ID) float64 {
@@ -322,6 +338,7 @@ func TestFigure3IntelTailsOff(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}
@@ -335,6 +352,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	cfg := Config{System: arch.MustGet(arch.Fulhame), Nodes: 2, Iterations: 10}
 	a, err := Run(cfg)
 	if err != nil {

@@ -19,6 +19,7 @@ func testFabric() *Fabric {
 }
 
 func TestPointToPointLatency(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	// Same leaf (nodes 0,1): 1µs + 2×0.1µs = 1.2µs.
 	got := f.Latency(0, 1)
@@ -33,6 +34,7 @@ func TestPointToPointLatency(t *testing.T) {
 }
 
 func TestPointToPointBandwidthTerm(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	// 10 MB at 10 GB/s = 1 ms, dwarfing latency.
 	got := f.PointToPoint(0, 2, 10*1000*1000).Seconds()
@@ -42,6 +44,7 @@ func TestPointToPointBandwidthTerm(t *testing.T) {
 }
 
 func TestIntraNodeShortCircuit(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	intra := f.PointToPoint(3, 3, 64*units.KiB)
 	inter := f.PointToPoint(0, 2, 64*units.KiB)
@@ -51,6 +54,7 @@ func TestIntraNodeShortCircuit(t *testing.T) {
 }
 
 func TestInjectionCap(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	f.InjectionBandwidth = 1 * units.GBPerSec
 	slow := f.PointToPoint(0, 2, 1000*1000*1000)
@@ -62,6 +66,7 @@ func TestInjectionCap(t *testing.T) {
 }
 
 func TestAllreduceScaling(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	// Single process: free.
 	if f.Allreduce(1, 1, 8) != 0 {
@@ -82,6 +87,7 @@ func TestAllreduceScaling(t *testing.T) {
 }
 
 func TestAllreduceIntraNodeOnly(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	// 8 procs on one node still pay shared-memory combining.
 	if f.Allreduce(8, 1, 1024) <= 0 {
@@ -90,6 +96,7 @@ func TestAllreduceIntraNodeOnly(t *testing.T) {
 }
 
 func TestBarrier(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	if f.Barrier(1, 1) != 0 {
 		t.Error("1-proc barrier should be free")
@@ -103,6 +110,7 @@ func TestBarrier(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	if f.Bcast(1, 1, 1024) != 0 {
 		t.Error("1-proc bcast should be free")
@@ -115,6 +123,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestAllgatherAndAlltoall(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	if f.Allgather(1, 1, 8) != 0 || f.Alltoall(1, 1, 8) != 0 {
 		t.Error("single-proc collectives should be free")
@@ -135,6 +144,7 @@ func TestAllgatherAndAlltoall(t *testing.T) {
 }
 
 func TestStandardFabrics(t *testing.T) {
+	t.Parallel()
 	fabrics := []*Fabric{
 		NewTofuD(48), NewAries(), NewFDRInfiniBand(), NewEDRInfiniBand(), NewOmniPath(),
 	}
@@ -155,6 +165,7 @@ func TestStandardFabrics(t *testing.T) {
 }
 
 func TestTofuDLowerLatencyThanOmniPath(t *testing.T) {
+	t.Parallel()
 	// The paper observes no network penalty on the A64FX system vs NGIO;
 	// our model encodes TofuD as at least as fast at small messages.
 	tofu := NewTofuD(48)
@@ -166,6 +177,7 @@ func TestTofuDLowerLatencyThanOmniPath(t *testing.T) {
 
 // Property: point-to-point cost is symmetric and monotone in payload.
 func TestPointToPointProperties(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	prop := func(aRaw, bRaw uint8, s1Raw, s2Raw uint16) bool {
 		a, b := int(aRaw)%16, int(bRaw)%16
@@ -187,6 +199,7 @@ func TestPointToPointProperties(t *testing.T) {
 // Property: collective costs are monotone in process count at fixed
 // payload and nodes = procs.
 func TestCollectiveMonotoneProperty(t *testing.T) {
+	t.Parallel()
 	f := testFabric()
 	prop := func(pRaw uint8) bool {
 		p := int(pRaw%63) + 1

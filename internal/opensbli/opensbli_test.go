@@ -10,6 +10,7 @@ import (
 // --- Numerical validation of the real solver ---
 
 func TestTGVMassConservation(t *testing.T) {
+	t.Parallel()
 	s, err := NewSolver(16, 1.4, 0.01)
 	if err != nil {
 		t.Fatal(err)
@@ -28,6 +29,7 @@ func TestTGVMassConservation(t *testing.T) {
 }
 
 func TestTGVKineticEnergyDecays(t *testing.T) {
+	t.Parallel()
 	// With viscosity, the TGV's kinetic energy decays.
 	s, err := NewSolver(16, 1.4, 0.05)
 	if err != nil {
@@ -49,6 +51,7 @@ func TestTGVKineticEnergyDecays(t *testing.T) {
 }
 
 func TestTGVStability(t *testing.T) {
+	t.Parallel()
 	// Density stays positive and bounded over a longer run.
 	s, err := NewSolver(12, 1.4, 0.02)
 	if err != nil {
@@ -66,6 +69,7 @@ func TestTGVStability(t *testing.T) {
 }
 
 func TestTGVInitialCondition(t *testing.T) {
+	t.Parallel()
 	s, _ := NewSolver(16, 1.4, 0.01)
 	s.InitTaylorGreen(0.1)
 	// Initial z-momentum is identically zero.
@@ -82,6 +86,7 @@ func TestTGVInitialCondition(t *testing.T) {
 }
 
 func TestSolverValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSolver(2, 1.4, 0.01); err == nil {
 		t.Error("tiny grid should fail")
 	}
@@ -104,6 +109,7 @@ var paperTableX = map[arch.ID][4]float64{
 }
 
 func TestTableXSingleNode(t *testing.T) {
+	t.Parallel()
 	for id, want := range paperTableX {
 		res, err := Run(Config{System: arch.MustGet(id), Nodes: 1})
 		if err != nil {
@@ -116,6 +122,7 @@ func TestTableXSingleNode(t *testing.T) {
 }
 
 func TestTableXA64FXUnderperforms(t *testing.T) {
+	t.Parallel()
 	// §VII.C.2: the A64FX is ≈3× slower than the fastest systems.
 	a, err := Run(Config{System: arch.MustGet(arch.A64FX), Nodes: 1})
 	if err != nil {
@@ -139,6 +146,7 @@ func TestTableXA64FXUnderperforms(t *testing.T) {
 }
 
 func TestTableXScalingMonotone(t *testing.T) {
+	t.Parallel()
 	for id := range paperTableX {
 		var prev float64 = math.Inf(1)
 		for _, nodes := range []int{1, 2, 4, 8} {
@@ -155,6 +163,7 @@ func TestTableXScalingMonotone(t *testing.T) {
 }
 
 func TestTableXScalingSublinear(t *testing.T) {
+	t.Parallel()
 	// The 64³ case is too small to scale perfectly: 8-node efficiency
 	// is clearly below 1 on every system (paper: 0.52–0.62).
 	for id := range paperTableX {
@@ -177,6 +186,7 @@ func TestTableXScalingSublinear(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("missing system should fail")
 	}
@@ -186,6 +196,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestTGVEnstrophyInitial(t *testing.T) {
+	t.Parallel()
 	// The initial TGV enstrophy on [0,2π]³ at unit density equals its
 	// initial kinetic energy ×3 (for the classic field, ∫|ω|² = 3∫|u|²
 	// ... with this initial condition the exact ratio is 3).
@@ -200,6 +211,7 @@ func TestTGVEnstrophyInitial(t *testing.T) {
 }
 
 func TestTGVDissipationIdentity(t *testing.T) {
+	t.Parallel()
 	// For low-Mach viscous decay, -dKE/dt ≈ 2ν·(enstrophy-like term):
 	// check the energy decay rate is positive and scales with ν.
 	rate := func(mu float64) float64 {
@@ -222,6 +234,7 @@ func TestTGVDissipationIdentity(t *testing.T) {
 }
 
 func TestTGVTotalEnergyConserved(t *testing.T) {
+	t.Parallel()
 	// Viscous dissipation converts kinetic to internal energy; the
 	// conservative total should drift only at discretisation level.
 	s, _ := NewSolver(16, 1.4, 0.02)
@@ -237,6 +250,7 @@ func TestTGVTotalEnergyConserved(t *testing.T) {
 }
 
 func TestMeanPressurePositive(t *testing.T) {
+	t.Parallel()
 	s, _ := NewSolver(12, 1.4, 0.01)
 	s.InitTaylorGreen(0.1)
 	if p := s.MeanPressure(); p <= 0 {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestCitation(t *testing.T) {
+	t.Parallel()
 	c := Source()
 	if c.DOI != "10.1109/CLUSTER49012.2020.00078" || c.Year != 2020 {
 		t.Errorf("citation drifted: %+v", c)
@@ -16,6 +17,7 @@ func TestCitation(t *testing.T) {
 }
 
 func TestTableIInternalConsistency(t *testing.T) {
+	t.Parallel()
 	for name, row := range TableI {
 		if row.CoresPerNode%row.CoresPerProcessor != 0 {
 			t.Errorf("%s: %d cores/node not a multiple of %d cores/proc",
@@ -34,6 +36,7 @@ func TestTableIInternalConsistency(t *testing.T) {
 }
 
 func TestTableIIIRatios(t *testing.T) {
+	t.Parallel()
 	// The optimised builds gain ≈1.43-1.44× on both systems.
 	var ngioU, ngioO, fulU, fulO float64
 	for _, r := range TableIII {
@@ -57,6 +60,7 @@ func TestTableIIIRatios(t *testing.T) {
 }
 
 func TestTableIVConsistentWithTableIII(t *testing.T) {
+	t.Parallel()
 	// Table IV's 1-node column repeats Table III's best values.
 	want := map[SystemName]float64{
 		A64FX: 38.26, ARCHER: 15.65, Cirrus: 17.27, NGIO: 37.61, Fulhame: 33.80,
@@ -69,6 +73,7 @@ func TestTableIVConsistentWithTableIII(t *testing.T) {
 }
 
 func TestTableVIRatiosConsistent(t *testing.T) {
+	t.Parallel()
 	base := TableVI[A64FX]
 	for sys, row := range TableVI {
 		// The paper's printed ratios are rounded (ARCHER's 0.40 is
@@ -83,6 +88,7 @@ func TestTableVIRatiosConsistent(t *testing.T) {
 }
 
 func TestTableIXRatiosConsistent(t *testing.T) {
+	t.Parallel()
 	base := TableIX[A64FX]
 	for sys, row := range TableIX {
 		got := row.SCFCyclesPerSec / base.SCFCyclesPerSec
@@ -93,6 +99,7 @@ func TestTableIXRatiosConsistent(t *testing.T) {
 }
 
 func TestBenchmark1Density(t *testing.T) {
+	t.Parallel()
 	density := float64(Benchmark1NNZ) / float64(Benchmark1DOF)
 	if density < 70 || density > 75 {
 		t.Errorf("Benchmark1 density %v nnz/row, expected ≈72.7", density)
@@ -100,6 +107,7 @@ func TestBenchmark1Density(t *testing.T) {
 }
 
 func TestTableVIIRange(t *testing.T) {
+	t.Parallel()
 	for sys, pes := range TableVII {
 		for i, pe := range pes {
 			if pe < 0.9 || pe > 1.0 {
@@ -110,6 +118,7 @@ func TestTableVIIRange(t *testing.T) {
 }
 
 func TestTableXFulhameAnomaly(t *testing.T) {
+	t.Parallel()
 	// The paper's Fulhame column is non-monotone at 4 nodes (0.74 →
 	// 0.65 → 0.28); the reproduction documents it as a measurement
 	// outlier. Pin it so nobody "fixes" the reference data.
@@ -123,6 +132,7 @@ func TestTableXFulhameAnomaly(t *testing.T) {
 }
 
 func TestClaimsCoverAllFigures(t *testing.T) {
+	t.Parallel()
 	figs := map[string]bool{}
 	for _, c := range Claims {
 		figs[c.Artifact] = true

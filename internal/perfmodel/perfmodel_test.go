@@ -39,6 +39,7 @@ func testModel() *CostModel {
 }
 
 func TestKernelClassString(t *testing.T) {
+	t.Parallel()
 	for _, k := range KernelClasses() {
 		if s := k.String(); s == "" || s[0] == 'k' && s != "kernel(0)" {
 			t.Errorf("class %d has suspicious name %q", int(k), s)
@@ -50,6 +51,7 @@ func TestKernelClassString(t *testing.T) {
 }
 
 func TestWorkProfileAdd(t *testing.T) {
+	t.Parallel()
 	var w WorkProfile
 	w.Add(WorkProfile{Class: SpMV, Flops: 10, Bytes: 100, Calls: 1})
 	w.Add(WorkProfile{Class: SpMV, Flops: 5, Bytes: 50, Calls: 2})
@@ -59,6 +61,7 @@ func TestWorkProfileAdd(t *testing.T) {
 }
 
 func TestWorkProfileAddMismatchPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic on class mismatch")
@@ -69,6 +72,7 @@ func TestWorkProfileAddMismatchPanics(t *testing.T) {
 }
 
 func TestWorkProfileScale(t *testing.T) {
+	t.Parallel()
 	w := WorkProfile{Class: SpMV, Flops: 10, Bytes: 100, Calls: 1}
 	s := w.Scale(3)
 	if s.Flops != 30 || s.Bytes != 300 || s.Calls != 3 || s.Class != SpMV {
@@ -77,6 +81,7 @@ func TestWorkProfileScale(t *testing.T) {
 }
 
 func TestArithmeticIntensity(t *testing.T) {
+	t.Parallel()
 	w := WorkProfile{Flops: 100, Bytes: 400}
 	if got := w.ArithmeticIntensity(); got != 0.25 {
 		t.Errorf("AI = %v, want 0.25", got)
@@ -87,6 +92,7 @@ func TestArithmeticIntensity(t *testing.T) {
 }
 
 func TestMemoryDomainBandwidthSaturation(t *testing.T) {
+	t.Parallel()
 	d := testNode().Domains[0]
 	if got := d.Bandwidth(1); got != 20*units.GBPerSec {
 		t.Errorf("1 core bw = %v", got)
@@ -107,6 +113,7 @@ func TestMemoryDomainBandwidthSaturation(t *testing.T) {
 }
 
 func TestPlacementBandwidthRoundRobin(t *testing.T) {
+	t.Parallel()
 	n := testNode()
 	// 2 cores round-robin over 2 domains: one core each = 2×20.
 	if got := n.PlacementBandwidth(2); got != 40*units.GBPerSec {
@@ -123,6 +130,7 @@ func TestPlacementBandwidthRoundRobin(t *testing.T) {
 }
 
 func TestNodeTotals(t *testing.T) {
+	t.Parallel()
 	n := testNode()
 	if n.TotalMemory() != 16*units.GiB {
 		t.Errorf("TotalMemory = %v", n.TotalMemory())
@@ -133,6 +141,7 @@ func TestNodeTotals(t *testing.T) {
 }
 
 func TestFlopRate(t *testing.T) {
+	t.Parallel()
 	n := testNode()
 	// Full node at 100% vector efficiency = peak.
 	if got := n.FlopRate(8, 1.0); got != 100*units.GFlopPerSec {
@@ -149,6 +158,7 @@ func TestFlopRate(t *testing.T) {
 }
 
 func TestPhaseTimeMemoryBound(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	// SpMV: 1 GFLOP, 100 GB traffic on full node. Memory clearly binds:
 	// 100e9 bytes / (100 GB/s × 0.8) = 1.25 s.
@@ -163,6 +173,7 @@ func TestPhaseTimeMemoryBound(t *testing.T) {
 }
 
 func TestPhaseTimeComputeBound(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	// GEMM: 90 GFLOP, tiny traffic. 90e9 / (100e9×0.9) = 1.0 s.
 	w := WorkProfile{Class: LargeGEMM, Flops: 90 * units.GFlop, Bytes: 1000}
@@ -176,6 +187,7 @@ func TestPhaseTimeComputeBound(t *testing.T) {
 }
 
 func TestFastMathGain(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	w := WorkProfile{Class: LargeGEMM, Flops: 90 * units.GFlop, Bytes: 1000}
 	base := m.PhaseTime(w, PhaseOptions{Cores: 8})
@@ -199,6 +211,7 @@ func TestFastMathGain(t *testing.T) {
 }
 
 func TestPerCallOverhead(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	m.Node.PerCallOverhead = units.Microsecond
 	w := WorkProfile{Class: SpMV, Flops: 1, Bytes: 1, Calls: 1000}
@@ -209,6 +222,7 @@ func TestPerCallOverhead(t *testing.T) {
 }
 
 func TestUncalibratedClassFallback(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	w := WorkProfile{Class: FFTKernel, Flops: units.GFlop, Bytes: units.GiB}
 	if m.PhaseTime(w, PhaseOptions{Cores: 4}) <= 0 {
@@ -217,6 +231,7 @@ func TestUncalibratedClassFallback(t *testing.T) {
 }
 
 func TestPhaseRate(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	w := WorkProfile{Class: LargeGEMM, Flops: 90 * units.GFlop, Bytes: 1000}
 	r := m.PhaseRate(w, PhaseOptions{Cores: 8})
@@ -226,6 +241,7 @@ func TestPhaseRate(t *testing.T) {
 }
 
 func TestCacheTraffic(t *testing.T) {
+	t.Parallel()
 	cache := 8 * units.MiB
 	// Fits in cache: traffic is one pass regardless of pass count.
 	if got := CacheTraffic(units.MiB, 10, cache); got != units.MiB {
@@ -243,6 +259,7 @@ func TestCacheTraffic(t *testing.T) {
 // Property: phase time is monotone non-increasing in core count for a
 // fixed profile (more cores never slows the model down).
 func TestPhaseTimeMonotoneCores(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	w := WorkProfile{Class: SpMV, Flops: 10 * units.GFlop, Bytes: 10 * 1e9}
 	f := func(aRaw, bRaw uint8) bool {
@@ -264,6 +281,7 @@ func TestPhaseTimeMonotoneCores(t *testing.T) {
 // time(k×w) == k×time(w) exactly for this linear model (within ns
 // quantisation).
 func TestPhaseTimeLinearInWork(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	f := func(kRaw uint8) bool {
 		k := int64(kRaw%16) + 1
@@ -278,6 +296,7 @@ func TestPhaseTimeLinearInWork(t *testing.T) {
 }
 
 func TestTurboFactor(t *testing.T) {
+	t.Parallel()
 	n := testNode()
 	n.TurboBoost1 = 1.4
 	n.TurboFlatCores = 2
@@ -311,6 +330,7 @@ func TestTurboFactor(t *testing.T) {
 }
 
 func TestScaleEfficiency(t *testing.T) {
+	t.Parallel()
 	m := testModel()
 	scaled := m.ScaleEfficiency(1, 1.1, SpMV)
 	base := m.Eff[SpMV]

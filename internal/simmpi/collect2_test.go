@@ -6,6 +6,7 @@ import (
 )
 
 func TestReduceScatter(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 4, 8, 3, 6} {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -33,6 +34,7 @@ func TestReduceScatter(t *testing.T) {
 }
 
 func TestReduceScatterBlocks(t *testing.T) {
+	t.Parallel()
 	// Distinct blocks: buf block k filled with k; each rank receives
 	// p×(its own index).
 	p := 4
@@ -54,6 +56,7 @@ func TestReduceScatterBlocks(t *testing.T) {
 }
 
 func TestReduceScatterIndivisiblePanics(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(3, 1), func(r *Rank) error {
 		r.ReduceScatter(make([]float64, 4), OpSum)
 		return nil
@@ -64,6 +67,7 @@ func TestReduceScatterIndivisiblePanics(t *testing.T) {
 }
 
 func TestExScan(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 5, 8} {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSplitByParity(t *testing.T) {
+	t.Parallel()
 	// 8 ranks split into even/odd communicators of 4.
 	_, err := Run(cfg(8, 2), func(r *Rank) error {
 		c := r.Split(r.ID()%2, r.ID())
@@ -28,6 +29,7 @@ func TestSplitByParity(t *testing.T) {
 }
 
 func TestSplitKeyOrdering(t *testing.T) {
+	t.Parallel()
 	// Reverse keys invert the communicator ordering.
 	_, err := Run(cfg(4, 1), func(r *Rank) error {
 		c := r.Split(0, -r.ID())
@@ -42,6 +44,7 @@ func TestSplitKeyOrdering(t *testing.T) {
 }
 
 func TestCommAllreduce(t *testing.T) {
+	t.Parallel()
 	// Two communicators reduce independently: evens sum even world
 	// ranks, odds sum odd ones.
 	for _, p := range []int{2, 5, 8, 12} {
@@ -67,6 +70,7 @@ func TestCommAllreduce(t *testing.T) {
 }
 
 func TestCommSendRecv(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(6, 2), func(r *Rank) error {
 		c := r.Split(r.ID()%2, r.ID())
 		// Ring within the communicator.
@@ -87,6 +91,7 @@ func TestCommSendRecv(t *testing.T) {
 }
 
 func TestCommBarrier(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(8, 2), func(r *Rank) error {
 		c := r.Split(r.ID()/4, r.ID()) // two comms of 4
 		c.Barrier()
@@ -99,6 +104,7 @@ func TestCommBarrier(t *testing.T) {
 }
 
 func TestMultipleSplits(t *testing.T) {
+	t.Parallel()
 	// Row/column communicators of a 2×4 grid, as hybrid codes build.
 	_, err := Run(cfg(8, 2), func(r *Rank) error {
 		row := r.Split(r.ID()/4, r.ID())
@@ -120,6 +126,7 @@ func TestMultipleSplits(t *testing.T) {
 }
 
 func TestWorldRankPanics(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(2, 1), func(r *Rank) error {
 		c := r.Split(0, r.ID())
 		c.WorldRank(5)

@@ -50,6 +50,7 @@ func cfg(procs, nodes int) JobConfig {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(JobConfig{Procs: 0, RankModel: testModel}, func(*Rank) error { return nil }); err == nil {
 		t.Error("zero procs should fail")
 	}
@@ -69,6 +70,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestRankIdentity(t *testing.T) {
+	t.Parallel()
 	seen := make([]bool, 8)
 	rep, err := Run(cfg(8, 2), func(r *Rank) error {
 		if r.Size() != 8 {
@@ -95,6 +97,7 @@ func TestRankIdentity(t *testing.T) {
 }
 
 func TestBodyErrorPropagates(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(4, 1), func(r *Rank) error {
 		if r.ID() == 2 {
 			return fmt.Errorf("boom")
@@ -107,6 +110,7 @@ func TestBodyErrorPropagates(t *testing.T) {
 }
 
 func TestPanicRecovered(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(2, 1), func(r *Rank) error {
 		if r.ID() == 1 {
 			panic("kaboom")
@@ -119,6 +123,7 @@ func TestPanicRecovered(t *testing.T) {
 }
 
 func TestComputeAdvancesClock(t *testing.T) {
+	t.Parallel()
 	rep, err := Run(cfg(1, 1), func(r *Rank) error {
 		// 10 GFLOP at 10 GFLOP/s (VectorOp eff 1.0) = 1 s.
 		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: 10 * units.GFlop})
@@ -139,6 +144,7 @@ func TestComputeAdvancesClock(t *testing.T) {
 }
 
 func TestSendRecvCausality(t *testing.T) {
+	t.Parallel()
 	rep, err := Run(cfg(2, 2), func(r *Rank) error {
 		if r.ID() == 0 {
 			r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: 10 * units.GFlop}) // 1 s
@@ -165,6 +171,7 @@ func TestSendRecvCausality(t *testing.T) {
 }
 
 func TestElapse(t *testing.T) {
+	t.Parallel()
 	rep, _ := Run(cfg(1, 1), func(r *Rank) error {
 		r.Elapse(units.Second)
 		return nil
@@ -175,6 +182,7 @@ func TestElapse(t *testing.T) {
 }
 
 func TestSendrecvExchange(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(2, 1), func(r *Rank) error {
 		mine := []float64{float64(r.ID())}
 		theirs := r.Sendrecv(1-r.ID(), 3, mine)
@@ -189,6 +197,7 @@ func TestSendrecvExchange(t *testing.T) {
 }
 
 func TestInvalidRanksPanic(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(2, 1), func(r *Rank) error {
 		if r.ID() == 0 {
 			r.SendFloats(5, 0, nil) // invalid
@@ -210,6 +219,7 @@ func TestInvalidRanksPanic(t *testing.T) {
 }
 
 func TestBarrierSynchronises(t *testing.T) {
+	t.Parallel()
 	rep, err := Run(cfg(4, 4), func(r *Rank) error {
 		// Rank r computes r seconds, then a barrier.
 		r.Compute(perfmodel.WorkProfile{
@@ -234,6 +244,7 @@ func TestBarrierSynchronises(t *testing.T) {
 func allreduceSizes() []int { return []int{1, 2, 3, 4, 5, 7, 8, 16, 24} }
 
 func TestAllreduceSum(t *testing.T) {
+	t.Parallel()
 	for _, p := range allreduceSizes() {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -258,6 +269,7 @@ func TestAllreduceSum(t *testing.T) {
 }
 
 func TestAllreduceMaxMin(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(6, 2), func(r *Rank) error {
 		v := r.AllreduceScalar(float64(r.ID()), OpMax)
 		if v != 5 {
@@ -275,6 +287,7 @@ func TestAllreduceMaxMin(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 3, 5, 8, 13} {
 		for root := 0; root < p; root += max(1, p/3) {
 			p, root := p, root
@@ -299,6 +312,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestReduce(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 3, 6, 8} {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -318,6 +332,7 @@ func TestReduce(t *testing.T) {
 }
 
 func TestAllgather(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 5, 8} {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -341,6 +356,7 @@ func TestAllgather(t *testing.T) {
 }
 
 func TestAlltoall(t *testing.T) {
+	t.Parallel()
 	for _, p := range []int{1, 2, 3, 4, 6, 8} {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -366,6 +382,7 @@ func TestAlltoall(t *testing.T) {
 }
 
 func TestAlltoallWrongBlocksPanics(t *testing.T) {
+	t.Parallel()
 	_, err := Run(cfg(2, 1), func(r *Rank) error {
 		r.Alltoall(make([][]float64, 1))
 		return nil
@@ -376,6 +393,7 @@ func TestAlltoallWrongBlocksPanics(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() Report {
 		rep, err := Run(cfg(8, 4), func(r *Rank) error {
 			for it := 0; it < 5; it++ {
@@ -402,6 +420,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
+	t.Parallel()
 	rep, err := Run(cfg(2, 2), func(r *Rank) error {
 		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: units.MFlop, Bytes: 1000})
 		if r.ID() == 0 {
@@ -430,6 +449,7 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestMoreNodesCostMoreForCollectives(t *testing.T) {
+	t.Parallel()
 	run := func(nodes int) float64 {
 		rep, err := Run(cfg(16, nodes), func(r *Rank) error {
 			for i := 0; i < 10; i++ {

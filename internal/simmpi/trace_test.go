@@ -10,6 +10,7 @@ import (
 )
 
 func TestTraceTimeline(t *testing.T) {
+	t.Parallel()
 	c := cfg(2, 2)
 	c.Trace = true
 	rep, err := Run(c, func(r *Rank) error {
@@ -54,6 +55,7 @@ func TestTraceTimeline(t *testing.T) {
 }
 
 func TestTraceOffByDefault(t *testing.T) {
+	t.Parallel()
 	rep, err := Run(cfg(2, 1), func(r *Rank) error {
 		r.Compute(perfmodel.WorkProfile{Class: perfmodel.VectorOp, Flops: units.MFlop})
 		return nil
@@ -67,6 +69,7 @@ func TestTraceOffByDefault(t *testing.T) {
 }
 
 func TestTraceNoise(t *testing.T) {
+	t.Parallel()
 	c := cfg(1, 1)
 	c.Trace = true
 	c.NoiseProb = 1.0
@@ -90,6 +93,7 @@ func TestTraceNoise(t *testing.T) {
 }
 
 func TestEventKindString(t *testing.T) {
+	t.Parallel()
 	if EvCompute.String() != "compute" || EventKind(99).String() != "event(99)" {
 		t.Error("EventKind names wrong")
 	}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestBuilderBasic(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder(3)
 	b.StartRow(0)
 	b.Add(0, 2)
@@ -42,6 +43,7 @@ func TestBuilderBasic(t *testing.T) {
 }
 
 func TestBuilderDuplicatesMerged(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder(1)
 	b.StartRow(0)
 	b.Add(0, 1)
@@ -57,6 +59,7 @@ func TestBuilderDuplicatesMerged(t *testing.T) {
 }
 
 func TestBuilderErrors(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder(2)
 	b.StartRow(0)
 	b.EndRow()
@@ -84,6 +87,7 @@ func TestBuilderErrors(t *testing.T) {
 }
 
 func TestSpMVTridiagonal(t *testing.T) {
+	t.Parallel()
 	// 1D Laplacian: A·1 = boundary effect only.
 	m, err := RandomSPD(1, 1, 0)
 	if err != nil {
@@ -123,6 +127,7 @@ func TestSpMVTridiagonal(t *testing.T) {
 }
 
 func TestSymGSReducesResidual(t *testing.T) {
+	t.Parallel()
 	m, err := Stencil27(6, 6, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -160,6 +165,7 @@ func TestSymGSReducesResidual(t *testing.T) {
 }
 
 func TestStencil27Structure(t *testing.T) {
+	t.Parallel()
 	for _, dims := range [][3]int{{1, 1, 1}, {2, 2, 2}, {3, 4, 5}, {8, 8, 8}} {
 		nx, ny, nz := dims[0], dims[1], dims[2]
 		m, err := Stencil27(nx, ny, nz)
@@ -194,6 +200,7 @@ func TestStencil27Structure(t *testing.T) {
 }
 
 func TestStencil27SPD(t *testing.T) {
+	t.Parallel()
 	// SPD check via x'Ax > 0 for random-ish x.
 	m, _ := Stencil27(4, 4, 4)
 	x := make([]float64, m.N)
@@ -208,6 +215,7 @@ func TestStencil27SPD(t *testing.T) {
 }
 
 func TestBenchmark1Spec(t *testing.T) {
+	t.Parallel()
 	s := Benchmark1Spec()
 	rows := s.Rows()
 	// Within 1% of the paper's 9,573,984 dof.
@@ -224,6 +232,7 @@ func TestBenchmark1Spec(t *testing.T) {
 }
 
 func TestStructuralAssembleMatchesFormulas(t *testing.T) {
+	t.Parallel()
 	s := StructuralSpec{NX: 3, NY: 4, NZ: 2, DofPerNode: 2}
 	m, err := s.Assemble()
 	if err != nil {
@@ -241,6 +250,7 @@ func TestStructuralAssembleMatchesFormulas(t *testing.T) {
 }
 
 func TestStructuralSymmetric(t *testing.T) {
+	t.Parallel()
 	s := StructuralSpec{NX: 3, NY: 3, NZ: 3, DofPerNode: 2}
 	m, err := s.Assemble()
 	if err != nil {
@@ -266,6 +276,7 @@ func TestStructuralSymmetric(t *testing.T) {
 }
 
 func TestStructuralDiagonallyDominant(t *testing.T) {
+	t.Parallel()
 	s := StructuralSpec{NX: 4, NY: 3, NZ: 3, DofPerNode: 3}
 	m, err := s.Assemble()
 	if err != nil {
@@ -288,12 +299,14 @@ func TestStructuralDiagonallyDominant(t *testing.T) {
 }
 
 func TestStructuralInvalidSpec(t *testing.T) {
+	t.Parallel()
 	if _, err := (StructuralSpec{NX: 0, NY: 1, NZ: 1, DofPerNode: 1}).Assemble(); err == nil {
 		t.Error("invalid spec should fail")
 	}
 }
 
 func TestRandomSPD(t *testing.T) {
+	t.Parallel()
 	m, err := RandomSPD(50, 6, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -319,6 +332,7 @@ func TestRandomSPD(t *testing.T) {
 
 // Property: Stencil27NNZ formula equals assembled NNZ.
 func TestStencilNNZProperty(t *testing.T) {
+	t.Parallel()
 	f := func(a, b, c uint8) bool {
 		nx, ny, nz := int(a%5)+1, int(b%5)+1, int(c%5)+1
 		m, err := Stencil27(nx, ny, nz)
@@ -334,6 +348,7 @@ func TestStencilNNZProperty(t *testing.T) {
 
 // Property: SpMV is linear: A(x+y) == Ax + Ay.
 func TestSpMVLinearityProperty(t *testing.T) {
+	t.Parallel()
 	m, err := Stencil27(4, 4, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,178 @@
+// Package golden is the determinism gate for experiment artifacts: it
+// defines a canonical byte serialization of core.Artifact, hashes it, and
+// reads/writes the checked-in digest manifests that pin every artifact
+// bit-for-bit across runs, worker counts, and code changes.
+//
+// The canonical form covers everything an artifact reports — identity,
+// layout, every cell's value/paper/text/format, notes, and the derived
+// paper-deviation statistics — with float64s serialized as IEEE-754 bit
+// patterns, so two artifacts share a digest if and only if they are
+// semantically identical (NaN included).
+package golden
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"a64fxbench/internal/core"
+)
+
+// Canonical serializes an artifact deterministically. The encoding is
+// length-prefixed per field group so distinct structures can never
+// collide by concatenation.
+func Canonical(a *core.Artifact) []byte {
+	var b canonBuf
+	b.str(a.ID)
+	b.str(a.Title)
+	b.str(string(a.Kind))
+	b.strs(a.Columns)
+	b.strs(a.RowLabels)
+	b.u64(uint64(len(a.Cells)))
+	for _, row := range a.Cells {
+		b.u64(uint64(len(row)))
+		for _, c := range row {
+			b.f64(c.Value)
+			b.f64(c.Paper)
+			b.str(c.Text)
+			b.str(c.Format)
+		}
+	}
+	b.strs(a.Notes)
+	// Deviation statistics: derived, but pinned so a change in how
+	// deviations are computed also trips the gate.
+	worst, refCells := a.MaxAbsDeviation()
+	b.f64(worst)
+	b.u64(uint64(refCells))
+	return b.buf
+}
+
+// Digest returns the SHA-256 hex digest of the canonical serialization.
+func Digest(a *core.Artifact) string {
+	return fmt.Sprintf("%x", sha256.Sum256(Canonical(a)))
+}
+
+// canonBuf builds the canonical encoding.
+type canonBuf struct{ buf []byte }
+
+func (b *canonBuf) u64(v uint64) {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+}
+
+// f64 appends the IEEE-754 bit pattern, quieting every NaN to one
+// canonical payload so "not applicable" hashes identically everywhere.
+func (b *canonBuf) f64(v float64) {
+	bits := math.Float64bits(v)
+	if v != v {
+		bits = 0x7FF8000000000000
+	}
+	b.u64(bits)
+}
+
+func (b *canonBuf) str(s string) {
+	b.u64(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+func (b *canonBuf) strs(ss []string) {
+	b.u64(uint64(len(ss)))
+	for _, s := range ss {
+		b.str(s)
+	}
+}
+
+// Manifest maps experiment id → hex digest. It is the on-disk golden
+// format: one "id  digest" line per artifact, sorted by id.
+type Manifest map[string]string
+
+// Load reads a manifest file. A missing file is an error — run the gate
+// test with -update to create it.
+func Load(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses a manifest from r.
+func Read(r io.Reader) (Manifest, error) {
+	m := Manifest{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("golden: manifest line %d: want \"id digest\", got %q", line, text)
+		}
+		if _, dup := m[fields[0]]; dup {
+			return nil, fmt.Errorf("golden: manifest line %d: duplicate id %q", line, fields[0])
+		}
+		m[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Write stores the manifest at path (creating parent directories),
+// sorted by id for stable diffs.
+func (m Manifest) Write(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# Golden artifact digests — SHA-256 of the canonical serialization\n")
+	b.WriteString("# (internal/sweep/golden). Regenerate with:\n")
+	b.WriteString("#   go test ./internal/sweep -run TestGolden -update\n")
+	for _, id := range m.IDs() {
+		fmt.Fprintf(&b, "%s  %s\n", id, m[id])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// IDs returns the manifest's ids, sorted.
+func (m Manifest) IDs() []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Diff compares a freshly-computed manifest against the checked-in one
+// and describes every mismatch: changed digests, ids missing from the
+// golden set, and golden ids that no longer exist.
+func Diff(got, want Manifest) []string {
+	var out []string
+	for _, id := range got.IDs() {
+		w, ok := want[id]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s: not in golden manifest (new experiment? rerun with -update)", id))
+		case w != got[id]:
+			out = append(out, fmt.Sprintf("%s: digest %s, golden %s", id, got[id], w))
+		}
+	}
+	for _, id := range want.IDs() {
+		if _, ok := got[id]; !ok {
+			out = append(out, fmt.Sprintf("%s: in golden manifest but not produced", id))
+		}
+	}
+	return out
+}

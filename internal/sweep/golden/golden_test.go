@@ -1,0 +1,134 @@
+package golden
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/core"
+)
+
+func sample() *core.Artifact {
+	return &core.Artifact{
+		ID: "t1", Title: "Sample", Kind: core.Table,
+		Columns:   []string{"a", "b"},
+		RowLabels: []string{"r1", "r2"},
+		Cells: [][]core.Cell{
+			{{Value: 1.5, Paper: 1.4, Format: "%.2f"}, {Text: "x"}},
+			{{Value: 2.5, Paper: math.NaN()}, {Value: math.NaN(), Paper: math.NaN()}},
+		},
+		Notes: []string{"n1"},
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	t.Parallel()
+	a, b := sample(), sample()
+	if Digest(a) != Digest(b) {
+		t.Fatal("identical artifacts must share a digest")
+	}
+	if !bytes.Equal(Canonical(a), Canonical(b)) {
+		t.Fatal("identical artifacts must share a canonical form")
+	}
+	if len(Digest(a)) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", Digest(a))
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	t.Parallel()
+	base := Digest(sample())
+	mutations := map[string]func(*core.Artifact){
+		"value":     func(a *core.Artifact) { a.Cells[0][0].Value += 1e-12 },
+		"paper":     func(a *core.Artifact) { a.Cells[0][0].Paper = 9 },
+		"text":      func(a *core.Artifact) { a.Cells[0][1].Text = "y" },
+		"format":    func(a *core.Artifact) { a.Cells[0][0].Format = "%.3f" },
+		"note":      func(a *core.Artifact) { a.Notes[0] = "n2" },
+		"label":     func(a *core.Artifact) { a.RowLabels[1] = "r2'" },
+		"column":    func(a *core.Artifact) { a.Columns[0] = "a'" },
+		"id":        func(a *core.Artifact) { a.ID = "t2" },
+		"title":     func(a *core.Artifact) { a.Title = "Other" },
+		"kind":      func(a *core.Artifact) { a.Kind = core.Figure },
+		"nan-value": func(a *core.Artifact) { a.Cells[1][1].Value = 0 },
+	}
+	for name, mutate := range mutations {
+		a := sample()
+		mutate(a)
+		if Digest(a) == base {
+			t.Errorf("mutation %q did not change the digest", name)
+		}
+	}
+}
+
+// TestNaNCanonical checks that every NaN bit pattern hashes identically:
+// "not applicable" must not depend on how the NaN was produced.
+func TestNaNCanonical(t *testing.T) {
+	t.Parallel()
+	a, b := sample(), sample()
+	b.Cells[1][1].Value = math.Float64frombits(0x7FF8000000000001) // odd payload
+	if Digest(a) != Digest(b) {
+		t.Fatal("NaN payloads must canonicalise to one digest")
+	}
+}
+
+// TestNoConcatenationCollision guards the length-prefixing: moving a
+// character across a field boundary must change the encoding.
+func TestNoConcatenationCollision(t *testing.T) {
+	t.Parallel()
+	a := &core.Artifact{ID: "ab", Title: "c"}
+	b := &core.Artifact{ID: "a", Title: "bc"}
+	if Digest(a) == Digest(b) {
+		t.Fatal("field boundaries must be encoded")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "golden", "manifest.txt")
+	m := Manifest{"table1": strings.Repeat("a", 64), "fig4": strings.Repeat("b", 64)}
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["table1"] != m["table1"] || got["fig4"] != m["fig4"] {
+		t.Fatalf("round trip lost data: %v", got)
+	}
+}
+
+func TestManifestRejectsMalformed(t *testing.T) {
+	t.Parallel()
+	if _, err := Read(strings.NewReader("justoneword\n")); err == nil {
+		t.Error("one-field line should fail")
+	}
+	if _, err := Read(strings.NewReader("a 1\na 2\n")); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	m, err := Read(strings.NewReader("# comment\n\n  id1  d1  \n"))
+	if err != nil || m["id1"] != "d1" {
+		t.Errorf("comments/blank lines should be ignored: %v %v", m, err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	t.Parallel()
+	got := Manifest{"a": "1", "b": "2"}
+	want := Manifest{"a": "1", "b": "3", "c": "4"}
+	diffs := Diff(got, want)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, frag := range []string{"b:", "c:"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diff misses %q: %v", frag, diffs)
+		}
+	}
+	if len(Diff(got, got)) != 0 {
+		t.Error("identical manifests must not diff")
+	}
+}

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/sweep/golden"
+)
+
+// update regenerates the golden digest manifest:
+//
+//	go test ./internal/sweep -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden with freshly computed digests")
+
+// manifestPath is the checked-in golden digest set for the Quick-mode
+// sweep (the full-fidelity sweep takes minutes; Quick exercises the same
+// code paths with fewer simulated iterations).
+var manifestPath = filepath.Join("testdata", "golden", "manifest.txt")
+
+// TestGoldenDigests pins every artifact of the full sweep — all paper
+// tables/figures plus the extension ablations — to its checked-in
+// SHA-256 digest. Any change to simulation results, artifact layout, or
+// the canonical serialization trips this gate; if the change is
+// intended, regenerate with -update and review the manifest diff.
+func TestGoldenDigests(t *testing.T) {
+	t.Parallel()
+	arts := sequentialArtifacts(t)
+	got := golden.Manifest{}
+	for id, a := range arts {
+		got[id] = golden.Digest(a)
+	}
+	if *update {
+		if err := got.Write(manifestPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), manifestPath)
+		return
+	}
+	want, err := golden.Load(manifestPath)
+	if err != nil {
+		t.Fatalf("loading golden manifest (run with -update to create it): %v", err)
+	}
+	for _, line := range golden.Diff(got, want) {
+		t.Error(line)
+	}
+}
+
+// TestParallelMatchesSequential is the determinism gate for the sweep
+// engine itself: a maximally parallel sweep must produce artifacts
+// byte-identical to the sequential one, for every experiment and
+// extension. The simulation runs on virtual clocks, so any divergence
+// here is a real scheduling-dependence bug.
+func TestParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	seq := sequentialArtifacts(t)
+	eng := New(8) // fresh engine: nothing shared with the fixture's cache
+	results := eng.Run(context.Background(), allIDs(), core.Options{Quick: true})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		want, ok := seq[r.ID]
+		if !ok {
+			t.Fatalf("%s: no sequential counterpart", r.ID)
+		}
+		if !bytes.Equal(golden.Canonical(r.Artifact), golden.Canonical(want)) {
+			t.Errorf("%s: parallel artifact differs from sequential (digest %s vs %s)",
+				r.ID, golden.Digest(r.Artifact), golden.Digest(want))
+		}
+	}
+	if len(results) != len(seq) {
+		t.Errorf("parallel sweep produced %d artifacts, sequential %d", len(results), len(seq))
+	}
+}

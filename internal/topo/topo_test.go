@@ -6,6 +6,7 @@ import (
 )
 
 func TestTorusBasics(t *testing.T) {
+	t.Parallel()
 	tor := &Torus{Dims: []int{4, 4}}
 	if tor.MaxNodes() != 16 {
 		t.Errorf("MaxNodes = %d", tor.MaxNodes())
@@ -28,6 +29,7 @@ func TestTorusBasics(t *testing.T) {
 }
 
 func TestTorusName(t *testing.T) {
+	t.Parallel()
 	if (&Torus{Dims: []int{2, 3}}).Name() != "torus[2 3]" {
 		t.Error("default torus name wrong")
 	}
@@ -37,6 +39,7 @@ func TestTorusName(t *testing.T) {
 }
 
 func TestNewTofuD(t *testing.T) {
+	t.Parallel()
 	tf := NewTofuD(48)
 	if tf.MaxNodes() < 48 {
 		t.Errorf("TofuD for 48 nodes only covers %d", tf.MaxNodes())
@@ -55,6 +58,7 @@ func TestNewTofuD(t *testing.T) {
 }
 
 func TestDragonflyHops(t *testing.T) {
+	t.Parallel()
 	d := NewAries()
 	if d.Hops(3, 3) != 0 {
 		t.Error("self distance must be 0")
@@ -77,6 +81,7 @@ func TestDragonflyHops(t *testing.T) {
 }
 
 func TestFatTreeHops(t *testing.T) {
+	t.Parallel()
 	f := &FatTree{NodesPerLeaf: 24, Label: "EDR fat-tree"}
 	if f.Hops(1, 1) != 0 {
 		t.Error("self distance must be 0")
@@ -96,6 +101,7 @@ func TestFatTreeHops(t *testing.T) {
 }
 
 func TestMeanHops(t *testing.T) {
+	t.Parallel()
 	f := &FatTree{NodesPerLeaf: 2}
 	// Nodes 0..3: pairs (0,1)=2 (2,3)=2 (0,2)(0,3)(1,2)(1,3)=4.
 	// Mean = (2+2+4*4)/6 = 20/6.
@@ -139,6 +145,7 @@ func metricProps(t *testing.T, name string, topoImpl Topology, n int) {
 }
 
 func TestMetricProperties(t *testing.T) {
+	t.Parallel()
 	metricProps(t, "torus", &Torus{Dims: []int{3, 4, 2}}, 24)
 	metricProps(t, "tofud", NewTofuD(48), NewTofuD(48).MaxNodes())
 	metricProps(t, "dragonfly", NewAries(), 1000)
@@ -146,6 +153,7 @@ func TestMetricProperties(t *testing.T) {
 }
 
 func TestMeanHopsSampledPath(t *testing.T) {
+	t.Parallel()
 	// Above the exact-enumeration limit the sampled estimate must stay
 	// close to the structural expectation. For a fat tree with small
 	// leaves almost every pair is cross-leaf (4 hops).
@@ -172,6 +180,7 @@ func TestMeanHopsSampledPath(t *testing.T) {
 }
 
 func TestMeanHopsExactSampledAgree(t *testing.T) {
+	t.Parallel()
 	// Near the threshold the two estimators agree closely.
 	tor := &Torus{Dims: []int{8, 8, 8}} // 512 nodes = exact limit
 	exact := MeanHops(tor, 512)

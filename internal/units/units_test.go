@@ -9,6 +9,7 @@ import (
 )
 
 func TestBytesString(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   Bytes
 		want string
@@ -27,6 +28,7 @@ func TestBytesString(t *testing.T) {
 }
 
 func TestFlopsString(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   Flops
 		want string
@@ -44,6 +46,7 @@ func TestFlopsString(t *testing.T) {
 }
 
 func TestFlopRateGFLOPs(t *testing.T) {
+	t.Parallel()
 	r := FlopRate(38.26e9)
 	if got := r.GFLOPs(); math.Abs(got-38.26) > 1e-9 {
 		t.Errorf("GFLOPs() = %v, want 38.26", got)
@@ -54,6 +57,7 @@ func TestFlopRateGFLOPs(t *testing.T) {
 }
 
 func TestByteRateString(t *testing.T) {
+	t.Parallel()
 	if s := (256 * GBPerSec).String(); s != "256.00 GB/s" {
 		t.Errorf("got %q", s)
 	}
@@ -63,6 +67,7 @@ func TestByteRateString(t *testing.T) {
 }
 
 func TestDurationFromSeconds(t *testing.T) {
+	t.Parallel()
 	d := DurationFromSeconds(1.5)
 	if d != Duration(1500*time.Millisecond) {
 		t.Errorf("got %v", d)
@@ -79,6 +84,7 @@ func TestDurationFromSeconds(t *testing.T) {
 }
 
 func TestTimeFor(t *testing.T) {
+	t.Parallel()
 	// 10 GFLOP at 2 GFLOP/s takes 5 s.
 	d := TimeFor(10e9, 2e9)
 	if got := d.Seconds(); math.Abs(got-5) > 1e-9 {
@@ -93,6 +99,7 @@ func TestTimeFor(t *testing.T) {
 }
 
 func TestRate(t *testing.T) {
+	t.Parallel()
 	if got := Rate(10e9, DurationFromSeconds(2)); math.Abs(got-5e9) > 1 {
 		t.Errorf("Rate = %v, want 5e9", got)
 	}
@@ -104,6 +111,7 @@ func TestRate(t *testing.T) {
 // Property: TimeFor and Rate are inverses for positive inputs within
 // nanosecond quantisation error.
 func TestTimeForRateRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(amountRaw, rateRaw uint32) bool {
 		amount := float64(amountRaw%1e6) + 1
 		rate := float64(rateRaw%1e6) + 1
@@ -119,6 +127,7 @@ func TestTimeForRateRoundTrip(t *testing.T) {
 
 // Property: durations from seconds are monotone.
 func TestDurationMonotone(t *testing.T) {
+	t.Parallel()
 	f := func(a, b uint32) bool {
 		x, y := float64(a), float64(b)
 		if x > y {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestClockAdvance(t *testing.T) {
+	t.Parallel()
 	c := NewClock()
 	c.Advance(units.DurationFromSeconds(1.5))
 	c.Advance(units.DurationFromSeconds(0.5))
@@ -24,6 +25,7 @@ func TestClockAdvance(t *testing.T) {
 }
 
 func TestClockAdvanceTo(t *testing.T) {
+	t.Parallel()
 	c := NewClock()
 	c.Advance(units.Second)
 	// Jump forward: wait time recorded.
@@ -42,6 +44,7 @@ func TestClockAdvanceTo(t *testing.T) {
 }
 
 func TestClockNegativeAdvancePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic on negative advance")
@@ -51,6 +54,7 @@ func TestClockNegativeAdvancePanics(t *testing.T) {
 }
 
 func TestClockReset(t *testing.T) {
+	t.Parallel()
 	c := NewClock()
 	c.Advance(units.Second)
 	c.AdvanceTo(Time(5 * units.Second))
@@ -61,6 +65,7 @@ func TestClockReset(t *testing.T) {
 }
 
 func TestMax(t *testing.T) {
+	t.Parallel()
 	a, b := Time(units.Second), Time(2*units.Second)
 	if Max(a, b) != b || Max(b, a) != b || Max(a, a) != a {
 		t.Error("Max is wrong")
@@ -68,6 +73,7 @@ func TestMax(t *testing.T) {
 }
 
 func TestFrontier(t *testing.T) {
+	t.Parallel()
 	var f Frontier
 	var wg sync.WaitGroup
 	for i := 1; i <= 8; i++ {
@@ -90,6 +96,7 @@ func TestFrontier(t *testing.T) {
 }
 
 func TestFrontierEmpty(t *testing.T) {
+	t.Parallel()
 	var f Frontier
 	if f.MeanSeconds() != 0 || f.Makespan() != 0 || f.Count() != 0 {
 		t.Error("empty frontier should be all zero")
@@ -99,6 +106,7 @@ func TestFrontierEmpty(t *testing.T) {
 // Property: clock time is always busy+wait partitioned — Now equals the sum
 // of busy and wait accumulation for any interleaving of operations.
 func TestClockPartitionProperty(t *testing.T) {
+	t.Parallel()
 	f := func(steps []uint16) bool {
 		c := NewClock()
 		for i, s := range steps {
@@ -118,6 +126,7 @@ func TestClockPartitionProperty(t *testing.T) {
 
 // Property: AdvanceTo is idempotent and monotone.
 func TestAdvanceToMonotoneProperty(t *testing.T) {
+	t.Parallel()
 	f := func(a, b uint32) bool {
 		c := NewClock()
 		ta := Time(units.Duration(a) * units.Microsecond)
