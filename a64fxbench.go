@@ -40,6 +40,7 @@ import (
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/paper"
+	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
 )
 
@@ -112,8 +113,31 @@ type Experiment = core.Experiment
 // Artifact is a completed experiment result.
 type Artifact = core.Artifact
 
-// Options tunes experiment execution (Quick for smoke runs).
+// Options tunes experiment execution: Quick for smoke runs, Trace to
+// stream every simulated job's event timeline into a TraceSink, Profile
+// to ask the sweep engine for an in-memory timeline. Observability
+// options never change artifact contents.
 type Options = core.Options
+
+// OptionsKey is the comparable projection of Options onto the fields
+// that affect artifact contents — the correct cache or digest key.
+type OptionsKey = core.OptionsKey
+
+// TraceSink receives the phase-annotated event stream of traced
+// simulated jobs (see the trace support in every benchmark Config).
+type TraceSink = simmpi.TraceSink
+
+// TraceEvent is one entry of a traced job's timeline.
+type TraceEvent = simmpi.Event
+
+// Timeline is a merged sequence of trace events in deterministic
+// (start time, rank) order.
+type Timeline = simmpi.Timeline
+
+// MemorySink is a TraceSink that buffers the stream for later analysis
+// (Chrome export, communication matrices, critical paths — see
+// internal/obs through the a64fxbench trace command).
+type MemorySink = simmpi.MemorySink
 
 // Experiments lists every table and figure of the paper's evaluation in
 // order.

@@ -8,12 +8,19 @@
 //	a64fxbench sysinfo              print the machine models (Table I)
 //	a64fxbench run <id> [...]       run experiments (e.g. table3 fig4)
 //	a64fxbench all                  run everything in paper order
+//	a64fxbench trace <id>           export one experiment's event trace
 //
 // Flags:
 //
 //	-quick      reduce simulated iteration counts (fast smoke runs)
 //	-compare    show paper-vs-measured deltas beside each value
 //	-j N        run up to N experiments concurrently (default GOMAXPROCS)
+//	-profile    print per-job observability summaries after each artifact
+//	-format     text/chart/json/csv for run; text/chrome/json for trace
+//	-o FILE     write trace output to FILE instead of stdout
+//
+// Flags may appear before or after the command and its arguments
+// (`a64fxbench trace fig3 -format=chrome` works).
 package main
 
 import (
@@ -26,80 +33,181 @@ import (
 	"a64fxbench"
 )
 
+// command is one CLI subcommand. Dispatch, argument checking and the
+// usage listing are all driven off the commands table below — there is
+// no hand-rolled switch.
+type command interface {
+	// Name is the dispatch token, e.g. "run".
+	Name() string
+	// Synopsis is the usage line's argument form, e.g. "run <id> [...]".
+	Synopsis() string
+	// Describe is the one-line help text.
+	Describe() string
+	// Run executes the command with the global flag config and the
+	// positional arguments after the command name.
+	Run(ctx context.Context, cfg sweepConfig, args []string) error
+}
+
+// cmdFunc adapts a plain function to the command interface.
+type cmdFunc struct {
+	name     string
+	synopsis string
+	describe string
+	// minArgs is the required positional-argument count; fewer yields a
+	// usage error without invoking run.
+	minArgs int
+	run     func(ctx context.Context, cfg sweepConfig, args []string) error
+}
+
+func (c cmdFunc) Name() string     { return c.name }
+func (c cmdFunc) Synopsis() string { return c.synopsis }
+func (c cmdFunc) Describe() string { return c.describe }
+func (c cmdFunc) Run(ctx context.Context, cfg sweepConfig, args []string) error {
+	if len(args) < c.minArgs {
+		return fmt.Errorf("usage: a64fxbench %s", c.synopsis)
+	}
+	return c.run(ctx, cfg, args)
+}
+
+// commands is the dispatch table, in usage order.
+var commands = []command{
+	cmdFunc{
+		name: "list", synopsis: "list",
+		describe: "list all experiments and extensions",
+		run: func(context.Context, sweepConfig, []string) error {
+			return list()
+		},
+	},
+	cmdFunc{
+		name: "sysinfo", synopsis: "sysinfo",
+		describe: "print the machine models (Table I)",
+		run: func(context.Context, sweepConfig, []string) error {
+			return sysinfo()
+		},
+	},
+	cmdFunc{
+		name: "run", synopsis: "run <experiment-id> [...]",
+		describe: "run experiments (e.g. table3 fig4)",
+		minArgs:  1,
+		run: func(ctx context.Context, cfg sweepConfig, args []string) error {
+			return runSweep(ctx, os.Stdout, os.Stderr, args, cfg)
+		},
+	},
+	cmdFunc{
+		name: "all", synopsis: "all",
+		describe: "run everything in paper order",
+		run: func(ctx context.Context, cfg sweepConfig, _ []string) error {
+			var ids []string
+			for _, e := range a64fxbench.Experiments() {
+				ids = append(ids, e.ID)
+			}
+			return runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
+		},
+	},
+	cmdFunc{
+		name: "ext", synopsis: "ext [id ...]",
+		describe: "ablation experiments beyond the paper",
+		run: func(ctx context.Context, cfg sweepConfig, args []string) error {
+			ids := args
+			if len(ids) == 0 {
+				for _, e := range a64fxbench.Extensions() {
+					ids = append(ids, e.ID)
+				}
+			}
+			return runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
+		},
+	},
+	cmdFunc{
+		name: "trace", synopsis: "trace <experiment-id>",
+		describe: "run one experiment traced and export its event stream (-format, -o)",
+		minArgs:  1,
+		run: func(ctx context.Context, cfg sweepConfig, args []string) error {
+			return traceExperiment(ctx, args[0], cfg)
+		},
+	},
+	cmdFunc{
+		name: "micro", synopsis: "micro [system]",
+		describe: "model-validation microbenchmarks",
+		run: func(_ context.Context, _ sweepConfig, args []string) error {
+			name := ""
+			if len(args) > 0 {
+				name = args[0]
+			}
+			return microCmd(name)
+		},
+	},
+	cmdFunc{
+		name: "profile", synopsis: "profile <benchmark> <system>",
+		describe: "per-kernel-class time breakdown",
+		minArgs:  2,
+		run: func(_ context.Context, _ sweepConfig, args []string) error {
+			return profileCmd(args[0], args[1])
+		},
+	},
+	cmdFunc{
+		name: "validate", synopsis: "validate",
+		describe: "self-check against the paper's values",
+		run: func(context.Context, sweepConfig, []string) error {
+			return validateCmd()
+		},
+	},
+}
+
+// findCommand resolves a dispatch token against the table.
+func findCommand(name string) command {
+	for _, c := range commands {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduce simulated iteration counts for fast runs")
 	compare := flag.Bool("compare", false, "show paper references and deltas beside each value")
-	format := flag.String("format", "text", "output format: text, chart, json or csv")
+	format := flag.String("format", "text", "output format: text, chart, json or csv (trace: text, chrome or json)")
 	jobs := flag.Int("j", 0, "max concurrent experiments (0 = GOMAXPROCS)")
 	failFast := flag.Bool("failfast", false, "cancel remaining experiments after the first failure")
+	profile := flag.Bool("profile", false, "print per-job observability summaries after each artifact")
+	outFile := flag.String("o", "", "write trace output to FILE instead of stdout")
 	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
+	// Interleaved parsing: each Parse stops at the first non-flag token,
+	// so collect positionals one at a time and re-parse the remainder.
+	// This lets flags appear after the command and its arguments.
+	var pos []string
+	rest := os.Args[1:]
+	for {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		if flag.NArg() == 0 {
+			break
+		}
+		pos = append(pos, flag.Arg(0))
+		rest = flag.Args()[1:]
+	}
+	if len(pos) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := findCommand(pos[0])
+	if cmd == nil {
+		fmt.Fprintf(os.Stderr, "a64fxbench: unknown command %q\n\n", pos[0])
 		usage()
 		os.Exit(2)
 	}
 	cfg := sweepConfig{
 		quick: *quick, compare: *compare, format: *format,
 		jobs: *jobs, failFast: *failFast,
+		profile: *profile, out: *outFile,
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
 	// prints.
 	ctx, stop := signal.NotifyContext(rootContext(), os.Interrupt)
 	defer stop()
-	var err error
-	switch args[0] {
-	case "list":
-		err = list()
-	case "sysinfo":
-		err = sysinfo()
-	case "run":
-		if len(args) < 2 {
-			err = fmt.Errorf("run needs at least one experiment id")
-			break
-		}
-		err = runSweep(ctx, os.Stdout, os.Stderr, args[1:], cfg)
-	case "ext":
-		var ids []string
-		if len(args) > 1 {
-			ids = args[1:]
-		} else {
-			for _, e := range a64fxbench.Extensions() {
-				ids = append(ids, e.ID)
-			}
-		}
-		err = runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
-	case "all":
-		var ids []string
-		for _, e := range a64fxbench.Experiments() {
-			ids = append(ids, e.ID)
-		}
-		err = runSweep(ctx, os.Stdout, os.Stderr, ids, cfg)
-	case "micro":
-		name := ""
-		if len(args) > 1 {
-			name = args[1]
-		}
-		err = microCmd(name)
-	case "profile":
-		if len(args) < 3 {
-			err = fmt.Errorf("usage: profile <benchmark> <system>")
-			break
-		}
-		err = profileCmd(args[1], args[2])
-	case "validate":
-		err = validateCmd()
-	case "trace":
-		name := "A64FX"
-		if len(args) > 1 {
-			name = args[1]
-		}
-		err = traceCmd(name, 40)
-	default:
-		err = fmt.Errorf("unknown command %q", args[0])
-	}
-	if err != nil {
+	if err := cmd.Run(ctx, cfg, pos[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
 		os.Exit(1)
 	}
@@ -109,20 +217,18 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `a64fxbench — reproduce "Investigating Applications on the A64FX" (CLUSTER 2020)
 
 usage:
-  a64fxbench [flags] list
-  a64fxbench [flags] sysinfo
-  a64fxbench [flags] run <experiment-id> [...]
-  a64fxbench [flags] all
-  a64fxbench [flags] ext [id ...]        ablation experiments beyond the paper
-  a64fxbench micro [system]              model-validation microbenchmarks
-  a64fxbench profile <benchmark> <sys>   per-kernel-class time breakdown
-  a64fxbench trace [system]              virtual-time event timeline demo
-  a64fxbench validate                    self-check against the paper's values
-
-flags:
+`)
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  a64fxbench [flags] %-28s %s\n", c.Synopsis(), c.Describe())
+	}
+	fmt.Fprintf(os.Stderr, `
+flags (accepted before or after the command):
   -quick     reduce simulated iteration counts (fast smoke runs)
   -compare   show paper-vs-measured deltas beside each value
-  -format    text (default), chart, json or csv
+  -format    run/all/ext: text (default), chart, json or csv
+             trace: text (default), chrome (Perfetto) or json (analysis report)
+  -o FILE    trace: write output to FILE instead of stdout
+  -profile   run/all/ext: print per-job observability summaries
   -j N       run up to N experiments concurrently (0 = GOMAXPROCS)
   -failfast  cancel remaining experiments after the first failure
 `)
@@ -157,4 +263,3 @@ func sysinfo() error {
 	}
 	return nil
 }
-

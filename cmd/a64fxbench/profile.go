@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"sort"
 
 	"a64fxbench"
@@ -169,48 +168,3 @@ func profileCmd(bench, sysName string) error {
 	}
 	return nil
 }
-
-// traceCmd runs a small minikab job with event tracing and prints the
-// head of the merged virtual-time timeline.
-func traceCmd(sysName string, lines int) error {
-	sys, err := arch.Get(arch.ID(sysName))
-	if err != nil {
-		return err
-	}
-	model := sys.PerRankModel(4, 1)
-	job := simmpi.JobConfig{
-		Procs: 8, Nodes: 2, ThreadsPerRank: 1,
-		RankModel: func(int) *perfmodel.CostModel { return model },
-		Fabric:    sys.NewFabric(2),
-		Trace:     true,
-	}
-	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
-		for it := 0; it < 3; it++ {
-			r.Compute(perfmodel.WorkProfile{
-				Class: perfmodel.SpMV,
-				Flops: units.Flops(float64(1+r.ID()) * 1e7),
-				Bytes: units.Bytes((1 + r.ID()) * 10_000_000),
-				Calls: 1,
-			})
-			r.AllreduceScalar(1, simmpi.OpSum)
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trace of an imbalanced 8-rank CG-style loop on 2 %s nodes\n", sys.ID)
-	fmt.Printf("(%d events total, showing up to %d; makespan %.6fs)\n\n",
-		len(rep.Timeline), lines, rep.Seconds())
-	shown := rep.Timeline
-	if len(shown) > lines {
-		shown = shown[:lines]
-	}
-	if _, err := shown.WriteTo(stdout()); err != nil {
-		return err
-	}
-	return nil
-}
-
-// stdout indirection keeps the trace printer testable.
-func stdout() *os.File { return os.Stdout }

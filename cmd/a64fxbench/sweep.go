@@ -16,6 +16,11 @@ type sweepConfig struct {
 	format   string
 	jobs     int // worker bound; ≤ 0 means GOMAXPROCS
 	failFast bool
+	// profile collects each experiment's event timeline and prints a
+	// per-job observability summary after its artifact.
+	profile bool
+	// out is the trace command's output file ("" = stdout).
+	out string
 }
 
 // runSweep executes the requested experiments on the concurrent sweep
@@ -31,7 +36,7 @@ func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepC
 	}
 	eng := sweep.New(cfg.jobs)
 	eng.FailFast = cfg.failFast
-	results := eng.Run(ctx, ids, a64fxbench.Options{Quick: cfg.quick})
+	results := eng.Run(ctx, ids, a64fxbench.Options{Quick: cfg.quick, Profile: cfg.profile})
 
 	for _, r := range results {
 		if r.Err != nil {
@@ -39,6 +44,11 @@ func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepC
 		}
 		if err := renderArtifact(out, r.Artifact, cfg); err != nil {
 			return err
+		}
+		if cfg.profile && len(r.Timeline) > 0 {
+			if err := writeProfileSummary(out, r.ID, r.Timeline); err != nil {
+				return err
+			}
 		}
 	}
 	sum := sweep.Summarize(results)

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/obs"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/sweep"
+	"a64fxbench/internal/units"
+)
+
+// traceExperiment runs one experiment with tracing enabled and exports
+// the event stream: -format=text streams the classic timeline,
+// -format=chrome writes a Perfetto-loadable trace-event file, and
+// -format=json writes the full analysis report (communication matrix,
+// roofline, critical path) per simulated job. -o redirects to a file.
+func traceExperiment(ctx context.Context, id string, cfg sweepConfig) error {
+	if cfg.out == "" {
+		return writeTrace(ctx, os.Stdout, id, cfg)
+	}
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	if err := writeTrace(ctx, f, id, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace executes the traced run on the sweep engine and renders to w.
+func writeTrace(ctx context.Context, w io.Writer, id string, cfg sweepConfig) error {
+	var sink simmpi.TraceSink
+	mem := &simmpi.MemorySink{}
+	switch cfg.format {
+	case "text", "":
+		// Streams as the simulation runs; nothing is buffered.
+		sink = obs.NewTextSink(w)
+	case "chrome", "json":
+		sink = mem
+	default:
+		return fmt.Errorf("trace: unknown format %q (want text, chrome or json)", cfg.format)
+	}
+	eng := sweep.New(1)
+	eng.SinkFor = func(string) simmpi.TraceSink { return sink }
+	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick})[0]
+	if res.Err != nil {
+		return res.Err
+	}
+	if sink != mem {
+		return sink.Close()
+	}
+	jobs := obs.SplitJobs(mem.Events)
+	if cfg.format == "chrome" {
+		return obs.WriteChrome(w, jobs)
+	}
+	reports := make([]*obs.Report, 0, len(jobs))
+	for _, jt := range jobs {
+		rep, err := obs.Analyze(jt, a64fxPeaks(jt))
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// a64fxPeaks derives per-rank roofline peaks from the A64FX node model
+// and the job's observed rank placement. Experiments may run other
+// systems too; the A64FX — the paper's subject — is the fixed yardstick.
+func a64fxPeaks(jt obs.JobTrace) obs.Peaks {
+	sys := arch.MustGet(arch.A64FX)
+	rpn := 1
+	if n := jt.NumNodes(); n > 0 {
+		if r := (jt.NumRanks() + n - 1) / n; r > 0 {
+			rpn = r
+		}
+	}
+	return obs.Peaks{
+		FlopRate:  sys.Node.PeakFlops / units.FlopRate(rpn),
+		Bandwidth: sys.Node.PeakBandwidth() / units.ByteRate(rpn),
+	}
+}
+
+// writeProfileSummary prints a compact observability digest of every
+// simulated job an experiment ran: ranks, makespan, critical-path share
+// and the dominant path phase.
+func writeProfileSummary(w io.Writer, id string, tl simmpi.Timeline) error {
+	jobs := obs.SplitJobs(tl)
+	if _, err := fmt.Fprintf(w, "profile %s — %d simulated job(s)\n", id, len(jobs)); err != nil {
+		return err
+	}
+	for _, jt := range jobs {
+		rep, err := obs.Analyze(jt, a64fxPeaks(jt))
+		if err != nil {
+			return err
+		}
+		cp := rep.CriticalPath
+		top := "-"
+		if len(cp.Phases) > 0 {
+			top = fmt.Sprintf("%s %.0f%%", cp.Phases[0].Label, 100*cp.Phases[0].Fraction)
+		}
+		msgs, sent := rep.Comm.Totals()
+		if _, err := fmt.Fprintf(w, "  %-44s ranks=%-5d makespan=%10.4fs crit-path=%5.1f%% msgs=%-9d sent=%-10v top=%s\n",
+			jt.Label, rep.Ranks, rep.Makespan.Seconds(), 100*cp.Fraction, msgs, sent, top); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -50,6 +50,9 @@ type Config struct {
 	Cycles int
 	// Case is the workload; zero value means PaperTiN.
 	Case TiNCase
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 // Result is the outcome of a metered run.
@@ -143,6 +146,8 @@ func Run(cfg Config) (Result, error) {
 		Nodes:          1,
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("castep %s c=%d", sys.ID, procs),
 	}
 
 	// The wavefunction transpose: each SCF cycle needs all-to-all
@@ -151,18 +156,26 @@ func Run(cfg Config) (Result, error) {
 
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		for cyc := 0; cyc < cfg.Cycles; cyc++ {
+			r.Region("scf-cycle")
+			r.Region("fft")
 			r.Compute(fftWork)
+			r.EndRegion()
 			if r.Size() > 1 {
+				r.Region("transpose")
 				send := make([][]float64, r.Size())
 				n := int(a2aBytesPerPeer) / 8
 				for i := range send {
 					send[i] = make([]float64, n)
 				}
 				r.Alltoall(send)
+				r.EndRegion()
 			}
+			r.Region("subspace")
 			r.Compute(gemmWork)
+			r.EndRegion()
 			// Density/potential mixing reduction.
 			r.AllreduceScalar(0, simmpi.OpSum)
+			r.EndRegion()
 		}
 		return nil
 	})

@@ -45,6 +45,38 @@ func TestGetCaseInsensitive(t *testing.T) {
 	}
 }
 
+// TestRegisterNormalizesCase pins the registration side of the
+// case-insensitivity contract: a mixed-case ID is stored under its
+// lowercase key, so Get — which lowercases lookups — can reach it under
+// any spelling. (Before normalization the two sides disagreed and such
+// an experiment was unreachable.) Deliberately not parallel: it
+// mutates the shared registry and cleans up before the parallel tests
+// resume.
+func TestRegisterNormalizesCase(t *testing.T) {
+	e := register(&Experiment{
+		ID: "Test-MixedCase", Title: "t", Kind: Table, Description: "d",
+		Run: func(Options) (*Artifact, error) { return &Artifact{}, nil },
+	})
+	defer delete(registry, "test-mixedcase")
+	if _, dup := registry["Test-MixedCase"]; dup {
+		t.Error("registry key kept its original case")
+	}
+	for _, spelling := range []string{"Test-MixedCase", "test-mixedcase", "TEST-MIXEDCASE"} {
+		got, err := Get(spelling)
+		if err != nil {
+			t.Errorf("Get(%q): %v", spelling, err)
+			continue
+		}
+		if got != e {
+			t.Errorf("Get(%q) returned a different experiment", spelling)
+		}
+	}
+	// The ID itself keeps its original case for display.
+	if e.ID != "Test-MixedCase" {
+		t.Errorf("registration rewrote the ID to %q", e.ID)
+	}
+}
+
 func TestCellFormatting(t *testing.T) {
 	t.Parallel()
 	c := Cell{Value: 38.26, Paper: 38.26, Format: "%.2f"}

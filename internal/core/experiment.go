@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"a64fxbench/internal/simmpi"
 )
 
 // Kind distinguishes tables from figures.
@@ -34,12 +36,33 @@ type Experiment struct {
 	Run func(opt Options) (*Artifact, error)
 }
 
-// Options tunes an experiment execution.
+// Options tunes an experiment execution. Only fields covered by
+// ArtifactKey may change the produced artifact; observability fields
+// (Trace, Profile) must be result-neutral.
 type Options struct {
 	// Quick reduces simulated iteration counts for fast smoke runs;
 	// rates and shapes are unchanged (the simulation is steady-state).
 	Quick bool
+	// Trace, when non-nil, receives the event timelines of every
+	// simulated job the experiment runs (each bracketed by job markers;
+	// see simmpi.TraceSink). Tracing never changes artifact contents.
+	Trace simmpi.TraceSink
+	// Profile asks the executor (the sweep engine) to collect an
+	// in-memory timeline for post-run analysis even when Trace is nil.
+	// Like Trace, it never changes artifact contents.
+	Profile bool
 }
+
+// OptionsKey is the comparable projection of Options onto the fields
+// that affect artifact contents — the correct cache/digest key.
+// Observability settings are deliberately excluded: traced and untraced
+// executions must produce byte-identical artifacts.
+type OptionsKey struct {
+	Quick bool
+}
+
+// ArtifactKey projects the options onto their artifact-affecting fields.
+func (o Options) ArtifactKey() OptionsKey { return OptionsKey{Quick: o.Quick} }
 
 // Cell is one measured value with an optional paper reference.
 type Cell struct {
@@ -170,16 +193,19 @@ func (a *Artifact) MaxAbsDeviation() (worst float64, refCells int) {
 // registry of experiments, keyed by ID.
 var registry = map[string]*Experiment{}
 
-// register adds an experiment at package init.
+// register adds an experiment at package init. Registry keys are
+// normalized to lower case so lookups through Get (which lowercases its
+// argument) can reach every registration regardless of the ID's case.
 func register(e *Experiment) *Experiment {
-	if _, dup := registry[e.ID]; dup {
+	key := strings.ToLower(e.ID)
+	if _, dup := registry[key]; dup {
 		panic("core: duplicate experiment " + e.ID)
 	}
-	registry[e.ID] = e
+	registry[key] = e
 	return e
 }
 
-// Get returns the experiment with the given ID.
+// Get returns the experiment with the given ID (case-insensitive).
 func Get(id string) (*Experiment, error) {
 	e, ok := registry[strings.ToLower(id)]
 	if !ok {

@@ -10,6 +10,7 @@ import (
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
 )
 
@@ -114,7 +115,7 @@ var _ = registerExt(&Experiment{
 				return nil, err
 			}
 			_ = base
-			res, err := hpcg.Run(hpcg.Config{System: sys, Nodes: 8, Iterations: iters})
+			res, err := hpcg.Run(hpcg.Config{System: sys, Nodes: 8, Iterations: iters, Trace: opt.Trace})
 			if err != nil {
 				return nil, err
 			}
@@ -156,11 +157,11 @@ var _ = registerExt(&Experiment{
 		sys := arch.MustGet(arch.A64FX)
 		// Baseline (noise applies equally to the 1-node run).
 		for _, prob := range []float64{0, 1e-6, 1e-5, 1e-4} {
-			base, err := nekboneRunWithNoise(sys, 1, iters, prob)
+			base, err := nekboneRunWithNoise(sys, 1, iters, prob, opt.Trace)
 			if err != nil {
 				return nil, err
 			}
-			scaled, err := nekboneRunWithNoise(sys, 16, iters, prob)
+			scaled, err := nekboneRunWithNoise(sys, 16, iters, prob, opt.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -174,12 +175,12 @@ var _ = registerExt(&Experiment{
 
 // nekboneRunWithNoise runs the metered Nekbone loop with an explicit
 // noise probability, bypassing the benchmark's calibrated default.
-func nekboneRunWithNoise(sys *arch.System, nodes, iters int, noise float64) (float64, error) {
+func nekboneRunWithNoise(sys *arch.System, nodes, iters int, noise float64, trace simmpi.TraceSink) (float64, error) {
 	// Reuse the public benchmark but override noise via a derived
 	// system is not possible (noise lives in the job); replicate the
 	// essential loop compactly instead.
 	res, err := nekbone.RunWithNoise(nekbone.Config{
-		System: sys, Nodes: nodes, Iterations: iters, FastMath: true,
+		System: sys, Nodes: nodes, Iterations: iters, FastMath: true, Trace: trace,
 	}, noise, units.Duration(30*units.Millisecond))
 	if err != nil {
 		return 0, err
@@ -207,7 +208,7 @@ var _ = registerExt(&Experiment{
 			Columns: []string{"Runtime (s)", "vs measured A64FX"},
 		}
 		base := arch.MustGet(arch.A64FX)
-		meas, err := opensbli.Run(opensbli.Config{System: base, Nodes: 1, Case: tc})
+		meas, err := opensbli.Run(opensbli.Config{System: base, Nodes: 1, Case: tc, Trace: opt.Trace})
 		if err != nil {
 			return nil, err
 		}
@@ -242,13 +243,13 @@ var _ = registerExt(&Experiment{
 				if err != nil {
 					return nil, err
 				}
-				res, err := opensbli.Run(opensbli.Config{System: sys, Nodes: 1, Case: tc})
+				res, err := opensbli.Run(opensbli.Config{System: sys, Nodes: 1, Case: tc, Trace: opt.Trace})
 				if err != nil {
 					return nil, err
 				}
 				sec = res.Seconds
 			case 2:
-				res, err := opensbli.Run(opensbli.Config{System: arch.MustGet(arch.NGIO), Nodes: 1, Case: tc})
+				res, err := opensbli.Run(opensbli.Config{System: arch.MustGet(arch.NGIO), Nodes: 1, Case: tc, Trace: opt.Trace})
 				if err != nil {
 					return nil, err
 				}

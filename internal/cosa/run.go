@@ -52,6 +52,9 @@ type Config struct {
 	Nodes int
 	// Case is the workload; zero value means PaperTestCase.
 	Case TestCase
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 // Result is the outcome of a metered run.
@@ -129,21 +132,27 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("cosa %s n=%d", sys.ID, cfg.Nodes),
 	}
 
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		myBlocks := part.Part(r.ID())
 		const tagHalo = 13
 		for it := 0; it < tc.Iterations; it++ {
+			r.Region("hb-iter")
 			// Work for all owned blocks.
 			if myBlocks > 0 {
+				r.Region("flux")
 				r.Compute(blockWork.Scale(int64(myBlocks)))
+				r.EndRegion()
 			}
 			// Halo exchange: blocks are distributed contiguously, so
 			// inter-process traffic is with adjacent ranks in the
 			// active set.
 			active := part.ActiveParts()
 			if r.ID() < active && active > 1 {
+				r.Region("halo")
 				if r.ID() > 0 {
 					r.Send(r.ID()-1, tagHalo, nil, haloBytes)
 				}
@@ -156,9 +165,11 @@ func Run(cfg Config) (Result, error) {
 				if r.ID() < active-1 {
 					r.Recv(r.ID()+1, tagHalo)
 				}
+				r.EndRegion()
 			}
 			// Residual-monitoring reduction each iteration.
 			r.AllreduceScalar(0, simmpi.OpMax)
+			r.EndRegion()
 		}
 		return nil
 	})

@@ -30,6 +30,9 @@ type Config struct {
 	// Optimised selects the vendor-optimised kernel variant of
 	// Table III (Intel-optimised on NGIO, Arm-optimised on Fulhame).
 	Optimised bool
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 // OptimisedKernelGain is the memory-efficiency gain of the vendor-
@@ -185,8 +188,14 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("hpcg %s n=%d %dx%dx%d", sys.ID, cfg.Nodes, cfg.NX, cfg.NY, cfg.NZ),
 	}
 
+	levelName := make([]string, cfg.Levels)
+	for l := range levelName {
+		levelName[l] = fmt.Sprintf("mg-level-%d", l)
+	}
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		fine := levels[0]
 		tagBase := 0
@@ -197,10 +206,13 @@ func Run(cfg Config) (Result, error) {
 		// One CG iteration of HPCG, repeated.
 		for it := 0; it < cfg.Iterations; it++ {
 			tagBase = 0
+			r.Region("cg-iter")
 			// Preconditioner: multigrid V-cycle.
 			var down func(l int)
 			down = func(l int) {
 				lw := levels[l]
+				r.Region(levelName[l])
+				defer r.EndRegion()
 				if l == cfg.Levels-1 {
 					decomp.Exchange(r, grid, lw.halo, nextTag())
 					r.Compute(symgsProfile(lw))
@@ -221,15 +233,19 @@ func Run(cfg Config) (Result, error) {
 				decomp.Exchange(r, grid, lw.halo, nextTag())
 				r.Compute(symgsProfile(lw))
 			}
+			r.Region("vcycle")
 			down(0)
+			r.EndRegion()
 			// dot(r, z)
 			r.Compute(dotProfile(fine.n))
 			r.AllreduceScalar(0, simmpi.OpSum)
 			// p update
 			r.Compute(waxpbyProfile(fine.n))
 			// SpMV A·p
+			r.Region("spmv")
 			decomp.Exchange(r, grid, fine.halo, nextTag())
 			r.Compute(spmvProfile(fine))
+			r.EndRegion()
 			// dot(p, Ap)
 			r.Compute(dotProfile(fine.n))
 			r.AllreduceScalar(0, simmpi.OpSum)
@@ -239,6 +255,7 @@ func Run(cfg Config) (Result, error) {
 			// dot(r, r) for convergence
 			r.Compute(dotProfile(fine.n))
 			r.AllreduceScalar(0, simmpi.OpSum)
+			r.EndRegion()
 		}
 		return nil
 	})

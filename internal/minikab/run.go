@@ -50,6 +50,9 @@ type Config struct {
 	Iterations int
 	// Matrix is the workload; zero value means Benchmark1.
 	Matrix MatrixSpec
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 // DefaultIterations is the fixed Benchmark1 CG iteration count used by
@@ -175,12 +178,15 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: cfg.ThreadsPerRank,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("minikab %s n=%d r=%d t=%d", sys.ID, cfg.Nodes, cfg.RanksPerNode, cfg.ThreadsPerRank),
 	}
 
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		const tagHalo = 11
 		exchange := func() {
 			// 1D plane decomposition: halo with ±1 neighbours.
+			r.Region("halo-exchange")
 			if r.ID() > 0 {
 				r.Send(r.ID()-1, tagHalo, nil, haloBytes)
 			}
@@ -193,8 +199,10 @@ func Run(cfg Config) (Result, error) {
 			if r.ID() < r.Size()-1 {
 				r.Recv(r.ID()+1, tagHalo)
 			}
+			r.EndRegion()
 		}
 		for it := 0; it < cfg.Iterations; it++ {
+			r.Region("cg-iter")
 			exchange()
 			r.Compute(spmv) // A·p
 			r.Compute(dot)  // p·Ap
@@ -204,6 +212,7 @@ func Run(cfg Config) (Result, error) {
 			r.Compute(dot)  // r·r
 			r.AllreduceScalar(0, simmpi.OpSum)
 			r.Compute(axpy) // p update
+			r.EndRegion()
 		}
 		return nil
 	})

@@ -30,6 +30,9 @@ type Config struct {
 	// FastMath enables the aggressive-compiler mode (-Kfast; Table VI's
 	// "fast math" column).
 	FastMath bool
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 func (c *Config) defaults() error {
@@ -146,6 +149,8 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      noiseProb,
 		NoiseDuration:  noiseDur,
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("nekbone %s n=%d c=%d", sys.ID, cfg.Nodes, cfg.CoresPerNode),
 	}
 
 	haloBytes := units.Bytes(facePoints * 8)
@@ -154,8 +159,12 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		for it := 0; it < cfg.Iterations; it++ {
 			// One CG iteration of Nekbone: ax + dssum + 2 reductions
 			// + 3 vector updates.
+			r.Region("cg-iter")
+			r.Region("ax")
 			r.Compute(ax)
+			r.EndRegion()
 			// dssum: local gather-scatter plus neighbour exchange.
+			r.Region("dssum")
 			r.Compute(dssum)
 			for f := decomp.XMinus; f < decomp.NumFaces; f++ {
 				if nbr := grid.NeighborAcross(r.ID(), f); nbr >= 0 {
@@ -168,6 +177,7 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 					r.Recv(nbr, tagHalo+int(opp))
 				}
 			}
+			r.EndRegion()
 			r.Compute(dot) // p·Ap
 			r.AllreduceScalar(0, simmpi.OpSum)
 			r.Compute(axpy) // x
@@ -175,6 +185,7 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 			r.Compute(dot)  // r·r
 			r.AllreduceScalar(0, simmpi.OpSum)
 			r.Compute(axpy) // p
+			r.EndRegion()
 		}
 		return nil
 	})

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"a64fxbench/internal/simmpi"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (catapult "JSON Array Format", as loaded by Perfetto and
+// chrome://tracing). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// micros converts virtual nanoseconds to trace microseconds.
+func micros[T ~int64](d T) float64 { return float64(d) / 1e3 }
+
+// WriteChrome renders the jobs as a Chrome trace-event JSON document:
+// one process (pid) per job labelled with the job name, one thread (tid)
+// track per rank, compute/send/recv/noise as complete ("X") slices, and
+// Region annotations as nested "B"/"E" slices. Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Output is byte-deterministic for a given trace: events are emitted in
+// the timeline's (Start, Rank) order and all maps have sorted keys.
+func WriteChrome(w io.Writer, jobs []JobTrace) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+	for pid, jt := range jobs {
+		label := jt.Label
+		if label == "" {
+			label = fmt.Sprintf("job %d", pid)
+		}
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": label},
+		}); err != nil {
+			return err
+		}
+		for rank := 0; rank < jt.NumRanks(); rank++ {
+			if err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+			}); err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: rank,
+				Args: map[string]any{"sort_index": rank},
+			}); err != nil {
+				return err
+			}
+		}
+		for _, e := range jt.Events {
+			ce, ok := chromeEventFor(e, pid)
+			if !ok {
+				continue
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n], \"displayTimeUnit\": \"ms\"}\n")
+	return err
+}
+
+// chromeEventFor maps one runtime event onto the trace-event format.
+func chromeEventFor(e simmpi.Event, pid int) (chromeEvent, bool) {
+	ce := chromeEvent{Ph: "X", Ts: micros(e.Start), Pid: pid, Tid: e.Rank}
+	dur := micros(e.Duration)
+	ce.Dur = &dur
+	switch e.Kind {
+	case simmpi.EvCompute:
+		ce.Name = e.Class.String()
+		ce.Cat = "compute"
+		ce.Args = map[string]any{"flops": float64(e.Flops), "bytes": int64(e.Bytes)}
+	case simmpi.EvSend:
+		ce.Name = fmt.Sprintf("send → %d", e.Peer)
+		ce.Cat = "comm"
+		ce.Args = map[string]any{"peer": e.Peer, "tag": e.Tag, "bytes": int64(e.Bytes)}
+	case simmpi.EvRecv:
+		ce.Name = fmt.Sprintf("recv ← %d", e.Peer)
+		ce.Cat = "comm"
+		ce.Args = map[string]any{"peer": e.Peer, "tag": e.Tag, "bytes": int64(e.Bytes)}
+	case simmpi.EvNoise:
+		ce.Name = "os noise"
+		ce.Cat = "noise"
+	case simmpi.EvRegionBegin:
+		return chromeEvent{
+			Name: e.Name, Cat: "region", Ph: "B",
+			Ts: micros(e.Start), Pid: pid, Tid: e.Rank,
+		}, true
+	case simmpi.EvRegionEnd:
+		return chromeEvent{
+			Name: e.Name, Cat: "region", Ph: "E",
+			Ts: micros(e.Start), Pid: pid, Tid: e.Rank,
+		}, true
+	default:
+		return chromeEvent{}, false
+	}
+	return ce, true
+}

@@ -1,0 +1,157 @@
+package obs_test
+
+import (
+	"testing"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/hpcg"
+	"a64fxbench/internal/nekbone"
+	"a64fxbench/internal/obs"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/units"
+)
+
+// checkPathInvariants asserts the two critical-path consistency bounds:
+// the path can never exceed the makespan, and it can never undercut the
+// busiest rank's recorded event time (every rank's events form one chain
+// of the DAG).
+func checkPathInvariants(t *testing.T, label string, sink *simmpi.MemorySink, rep simmpi.Report) *obs.CriticalPath {
+	t.Helper()
+	jobs := obs.SplitJobs(sink.Events)
+	if len(jobs) != 1 {
+		t.Fatalf("%s: %d jobs in stream", label, len(jobs))
+	}
+	cp, err := obs.ComputeCriticalPath(jobs[0])
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if cp.Length <= 0 || cp.Steps == 0 {
+		t.Fatalf("%s: degenerate path %+v", label, cp)
+	}
+	if cp.Length > rep.Makespan {
+		t.Errorf("%s: path %v exceeds makespan %v", label, cp.Length, rep.Makespan)
+	}
+	// Busiest rank: total recorded event time (busy work plus recv
+	// waits) per rank is a single DAG chain, so the path must cover it.
+	perRank := map[int]units.Duration{}
+	for _, e := range jobs[0].Events {
+		switch e.Kind {
+		case simmpi.EvCompute, simmpi.EvSend, simmpi.EvRecv, simmpi.EvNoise:
+			perRank[e.Rank] += e.Duration
+		}
+	}
+	var busiest units.Duration
+	for _, d := range perRank {
+		if d > busiest {
+			busiest = d
+		}
+	}
+	if cp.Length < busiest {
+		t.Errorf("%s: path %v undercuts busiest rank chain %v", label, cp.Length, busiest)
+	}
+	// The clock-level busy time is a lower bound too (it excludes
+	// waits, which the chain includes).
+	var maxBusy units.Duration
+	for _, rr := range rep.Ranks {
+		if rr.Busy > maxBusy {
+			maxBusy = rr.Busy
+		}
+	}
+	if cp.Length < maxBusy {
+		t.Errorf("%s: path %v undercuts busiest rank busy time %v", label, cp.Length, maxBusy)
+	}
+	if cp.Fraction <= 0 || cp.Fraction > 1.0000001 {
+		t.Errorf("%s: fraction %v out of (0,1]", label, cp.Fraction)
+	}
+	sum := units.Duration(0)
+	for _, p := range cp.Phases {
+		sum += p.Time
+	}
+	if sum != cp.Length {
+		t.Errorf("%s: phase contributions %v don't sum to path %v", label, sum, cp.Length)
+	}
+	return cp
+}
+
+// TestCriticalPathHPCGMultiNode runs the annotated HPCG benchmark on a
+// 2-node A64FX job and checks the path invariants (ISSUE acceptance:
+// hpcg multi-node).
+func TestCriticalPathHPCGMultiNode(t *testing.T) {
+	t.Parallel()
+	sink := &simmpi.MemorySink{}
+	res, err := hpcg.Run(hpcg.Config{
+		System: arch.MustGet(arch.A64FX),
+		Nodes:  2,
+		NX:     8, NY: 8, NZ: 8,
+		Levels:     2,
+		Iterations: 3,
+		Trace:      sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := checkPathInvariants(t, "hpcg", sink, res.Report)
+	// Phase attribution must surface the solver-level annotations.
+	foundRegion := false
+	for _, p := range cp.Phases {
+		if len(p.Label) > 0 && p.Label[0] != ':' &&
+			(containsRegion(p.Label, "cg-iter") || containsRegion(p.Label, "vcycle")) {
+			foundRegion = true
+		}
+	}
+	if !foundRegion {
+		t.Errorf("no region-labelled phases on the path: %+v", cp.Phases)
+	}
+}
+
+func containsRegion(label, region string) bool {
+	for i := 0; i+len(region) <= len(label); i++ {
+		if label[i:i+len(region)] == region {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCriticalPathNekboneMultiNode runs the annotated Nekbone benchmark
+// (noise injection included) on a 4-node job and checks the invariants
+// (ISSUE acceptance: nekbone multi-node).
+func TestCriticalPathNekboneMultiNode(t *testing.T) {
+	t.Parallel()
+	sink := &simmpi.MemorySink{}
+	res, err := nekbone.Run(nekbone.Config{
+		System:          arch.MustGet(arch.A64FX),
+		Nodes:           4,
+		CoresPerNode:    4,
+		ElementsPerRank: 4,
+		Order:           4,
+		Iterations:      10,
+		Trace:           sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPathInvariants(t, "nekbone", sink, res.Report)
+}
+
+// TestCriticalPathSerialChain checks the exact path on a hand-built
+// two-rank pipeline: rank 0 computes then sends; rank 1's recv waits on
+// it. The path is rank 0's chain plus the post-overlap tail of the recv
+// and rank 1's final compute.
+func TestCriticalPathSynthetic(t *testing.T) {
+	t.Parallel()
+	sink, rep := fourRankJob(t)
+	jobs := obs.SplitJobs(sink.Events)
+	cp, err := obs.ComputeCriticalPath(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Length > rep.Makespan {
+		t.Errorf("path %v > makespan %v", cp.Length, rep.Makespan)
+	}
+	// The job is perfectly balanced, so the path should be nearly the
+	// whole makespan (the send/recv overheads differ at the margins).
+	if cp.Fraction < 0.5 {
+		t.Errorf("balanced job path fraction %.3f suspiciously low", cp.Fraction)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"a64fxbench/internal/units"
+)
+
+// Report bundles every analysis of one traced job: the communication
+// matrix, the per-class roofline, and the critical path.
+type Report struct {
+	Label    string         `json:"label"`
+	Ranks    int            `json:"ranks"`
+	Nodes    int            `json:"nodes"`
+	Makespan units.Duration `json:"makespan_ns"`
+
+	Comm         *CommMatrix     `json:"comm"`
+	CommByNode   *CommMatrix     `json:"comm_by_node,omitempty"`
+	Roofline     []RooflinePoint `json:"roofline"`
+	CriticalPath *CriticalPath   `json:"critical_path"`
+}
+
+// Analyze runs every analysis over one job trace.
+func Analyze(jt JobTrace, peaks Peaks) (*Report, error) {
+	cp, err := ComputeCriticalPath(jt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Label:        jt.Label,
+		Ranks:        jt.NumRanks(),
+		Nodes:        jt.NumNodes(),
+		Makespan:     jt.Makespan,
+		Comm:         BuildCommMatrix(jt),
+		Roofline:     BuildRoofline(peaks, jt),
+		CriticalPath: cp,
+	}
+	if rep.Nodes > 1 {
+		rep.CommByNode = rep.Comm.NodeView()
+	}
+	return rep, nil
+}
+
+// AnalyzeAll analyzes every job in a sink's stream.
+func AnalyzeAll(jobs []JobTrace, peaks Peaks) ([]*Report, error) {
+	reps := make([]*Report, 0, len(jobs))
+	for _, jt := range jobs {
+		r, err := Analyze(jt, peaks)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, r)
+	}
+	return reps, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes the full human-readable report.
+func (r *Report) Render(w io.Writer, peaks Peaks) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %d ranks on %d nodes, makespan %v ===\n",
+		r.Label, r.Ranks, r.Nodes, r.Makespan); err != nil {
+		return err
+	}
+	if err := r.CriticalPath.Render(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	if err := RenderRoofline(w, peaks, r.Roofline); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return r.Comm.Render(w)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/units"
+)
+
+// Peaks carries the per-rank machine peaks a roofline is judged
+// against: the flop rate and memory bandwidth one rank's share of the
+// node can reach. A zero Peaks still yields achieved rates and
+// arithmetic intensities, just no utilization/bound classification.
+type Peaks struct {
+	FlopRate  units.FlopRate
+	Bandwidth units.ByteRate
+}
+
+// RooflinePoint is one kernel class's position on the roofline:
+// aggregate work, achieved rates, and — when peaks are known — its
+// utilization of the limiting resource.
+type RooflinePoint struct {
+	Class perfmodel.KernelClass `json:"class"`
+	// Time sums the class's busy time across all ranks.
+	Time units.Duration `json:"time_ns"`
+	// Flops and Bytes total the metered work of the class.
+	Flops units.Flops `json:"flops"`
+	Bytes units.Bytes `json:"bytes"`
+	// FlopRate and Bandwidth are the achieved per-rank rates
+	// (work divided by summed busy time).
+	FlopRate  units.FlopRate `json:"flop_rate"`
+	Bandwidth units.ByteRate `json:"bandwidth"`
+	// Intensity is flops per byte of memory traffic.
+	Intensity float64 `json:"intensity"`
+	// Bound is "flops" or "memory" — which roofline ceiling the class
+	// sits under — or "" when no peaks were supplied.
+	Bound string `json:"bound,omitempty"`
+	// Utilization is the achieved fraction of the limiting ceiling
+	// (0 when no peaks were supplied).
+	Utilization float64 `json:"utilization"`
+}
+
+// BuildRoofline aggregates the jobs' compute events per kernel class
+// and positions each class against the supplied peaks. Classes are
+// returned ordered by descending time (ties by class id).
+func BuildRoofline(peaks Peaks, jobs ...JobTrace) []RooflinePoint {
+	byClass := map[perfmodel.KernelClass]*RooflinePoint{}
+	for i := range jobs {
+		for _, e := range jobs[i].Events {
+			if e.Kind != simmpi.EvCompute {
+				continue
+			}
+			p := byClass[e.Class]
+			if p == nil {
+				p = &RooflinePoint{Class: e.Class}
+				byClass[e.Class] = p
+			}
+			p.Time += e.Duration
+			p.Flops += e.Flops
+			p.Bytes += e.Bytes
+		}
+	}
+	points := make([]RooflinePoint, 0, len(byClass))
+	for _, p := range byClass {
+		if p.Time > 0 {
+			p.FlopRate = units.FlopRate(units.Rate(float64(p.Flops), p.Time))
+			p.Bandwidth = units.ByteRate(units.Rate(float64(p.Bytes), p.Time))
+		}
+		if p.Bytes > 0 {
+			p.Intensity = float64(p.Flops) / float64(p.Bytes)
+		}
+		if peaks.FlopRate > 0 && peaks.Bandwidth > 0 {
+			fu := float64(p.FlopRate) / float64(peaks.FlopRate)
+			bu := float64(p.Bandwidth) / float64(peaks.Bandwidth)
+			if fu >= bu {
+				p.Bound, p.Utilization = "flops", fu
+			} else {
+				p.Bound, p.Utilization = "memory", bu
+			}
+		}
+		points = append(points, *p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Time != points[j].Time {
+			return points[i].Time > points[j].Time
+		}
+		return points[i].Class < points[j].Class
+	})
+	return points
+}
+
+// RenderRoofline writes the per-class roofline table.
+func RenderRoofline(w io.Writer, peaks Peaks, points []RooflinePoint) error {
+	if _, err := fmt.Fprintf(w, "roofline (per-rank peaks: %.1f GFLOP/s, %.1f GB/s)\n",
+		peaks.FlopRate.GFLOPs(), float64(peaks.Bandwidth)/1e9); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %12s %10s %8s %s\n",
+		"class", "time", "GFLOP/s", "GB/s", "flops/byte", "util", "bound"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		bound := p.Bound
+		if bound == "" {
+			bound = "-"
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s %12v %12.2f %12.2f %10.3f %7.1f%% %s\n",
+			p.Class, p.Time, p.FlopRate.GFLOPs(), float64(p.Bandwidth)/1e9,
+			p.Intensity, 100*p.Utilization, bound); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+
+	"a64fxbench/internal/simmpi"
+)
+
+// TextSink streams events as flat text lines — one per event, in the
+// classic timeline format — as the runtime records them. It implements
+// simmpi.TraceSink.
+type TextSink struct {
+	w   io.Writer
+	err error
+}
+
+// NewTextSink returns a sink writing the flat text timeline to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Record writes one event line; the first write error sticks and
+// surfaces from Close.
+func (s *TextSink) Record(e simmpi.Event) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = simmpi.WriteEvent(s.w, e)
+}
+
+// Close reports the first write error, if any.
+func (s *TextSink) Close() error { return s.err }

@@ -35,6 +35,9 @@ type Config struct {
 	Nodes int
 	// Case is the workload; zero value means PaperCase.
 	Case Case
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace simmpi.TraceSink
 }
 
 // Result is the outcome of a metered run.
@@ -111,16 +114,23 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
+		Sink:           cfg.Trace,
+		Label:          fmt.Sprintf("opensbli %s n=%d g=%d", sys.ID, cfg.Nodes, tc.Grid),
 	}
 
+	stageName := [3]string{"rk3-stage-0", "rk3-stage-1", "rk3-stage-2"}
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		for step := 0; step < tc.Steps; step++ {
+			r.Region("rk3-step")
 			for st := 0; st < 3; st++ { // RK3 stages
+				r.Region(stageName[st])
 				decomp.Exchange(r, grid, halo, 16*st)
 				r.Compute(stage)
+				r.EndRegion()
 			}
 			// dt stability reduction once per step.
 			r.AllreduceScalar(0, simmpi.OpMin)
+			r.EndRegion()
 		}
 		return nil
 	})

@@ -45,11 +45,12 @@ func runTracedHPCG(t *testing.T) hpcgOutcome {
 	const nx, ny, nz, procs, nodes = 8, 8, 12, 6, 2
 	sys := arch.MustGet(arch.A64FX)
 	model := sys.PerRankModel(procs/nodes, 1)
+	sink := &simmpi.MemorySink{}
 	cfg := simmpi.JobConfig{
 		Procs: procs, Nodes: nodes, ThreadsPerRank: 1,
 		RankModel: func(int) *perfmodel.CostModel { return model },
 		Fabric:    sys.NewFabric(nodes),
-		Trace:     true,
+		Sink:      sink,
 	}
 	b := make([]float64, nx*ny*nz)
 	for i := range b {
@@ -89,7 +90,7 @@ func runTracedHPCG(t *testing.T) hpcgOutcome {
 	return hpcgOutcome{
 		makespan:   rep.Makespan,
 		gflopsBits: math.Float64bits(rep.GFLOPs()),
-		events:     len(rep.Timeline),
+		events:     len(sink.Events),
 		msgs:       rep.TotalMsgs,
 		bytes:      rep.TotalBytesSent,
 		iters:      iters,

@@ -58,10 +58,16 @@ type JobConfig struct {
 	// paper's Table VII values.
 	NoiseProb     float64
 	NoiseDuration units.Duration
-	// Trace records a per-rank event timeline (compute phases, sends,
-	// receives, noise) into the report. Costs memory proportional to
-	// event count; off by default.
-	Trace bool
+	// Sink receives the job's event timeline (compute phases, sends,
+	// receives, noise, region annotations). When nil — the default —
+	// tracing is off and costs nothing. Events are streamed to the sink
+	// after the job completes, merged across ranks in deterministic
+	// (Start, Rank) order and bracketed by EvJobBegin/EvJobEnd markers;
+	// the sink is NOT closed, so one sink can observe a sequence of jobs.
+	Sink TraceSink
+	// Label names the job in trace output (EvJobBegin/EvJobEnd markers);
+	// empty defaults to "job p=<Procs>".
+	Label string
 }
 
 // validate normalises and checks the configuration.
@@ -168,6 +174,7 @@ type Rank struct {
 	stats    Stats
 	noiseSeq uint64
 	events   []Event
+	regions  []regionFrame
 }
 
 // ID returns the rank number in [0, Size).
@@ -204,7 +211,10 @@ func (r *Rank) Compute(w perfmodel.WorkProfile) {
 	})
 	start := r.clock.Now()
 	r.clock.Advance(d)
-	r.record(Event{Kind: EvCompute, Start: start, Duration: d, Class: w.Class, Peer: -1})
+	r.record(Event{
+		Kind: EvCompute, Start: start, Duration: d, Class: w.Class,
+		Peer: -1, Flops: w.Flops, Bytes: w.Bytes,
+	})
 	if p := r.job.cfg.NoiseProb; p > 0 {
 		r.noiseSeq++
 		h := splitmix64(uint64(r.id)*0x9E3779B97F4A7C15 + r.noiseSeq)
@@ -254,7 +264,7 @@ func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
 	}
 	r.stats.MsgsSent++
 	r.stats.BytesSent += bytes
-	r.record(Event{Kind: EvSend, Start: sendAt, Duration: f.SoftwareOverhead / 2, Peer: dst, Bytes: bytes})
+	r.record(Event{Kind: EvSend, Start: sendAt, Duration: f.SoftwareOverhead / 2, Peer: dst, Tag: tag, Bytes: bytes})
 }
 
 // Recv blocks until a message from src with the given tag arrives,
@@ -269,7 +279,7 @@ func (r *Rank) Recv(src, tag int) any {
 	r.record(Event{
 		Kind: EvRecv, Start: start,
 		Duration: units.Duration(vclock.Max(m.avail, start) - start),
-		Peer:     src, Bytes: m.bytes,
+		Peer:     src, Tag: tag, Bytes: m.bytes,
 	})
 	return m.payload
 }
@@ -575,6 +585,7 @@ func (r *Rank) ExScan(buf []float64, op Op) []float64 {
 // RankResult captures one rank's final accounting.
 type RankResult struct {
 	Rank   int
+	Node   int
 	Finish vclock.Time
 	Busy   units.Duration
 	Wait   units.Duration
@@ -597,8 +608,6 @@ type Report struct {
 	MeanWait units.Duration
 	// Ranks holds per-rank results, indexed by rank.
 	Ranks []RankResult
-	// Timeline is the merged event log when JobConfig.Trace was set.
-	Timeline Timeline
 }
 
 // GFLOPs reports the aggregate achieved rate: total flops over makespan.
@@ -652,8 +661,10 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 	rep := Report{Ranks: make([]RankResult, cfg.Procs)}
 	var busySum, waitSum float64
 	for i, r := range ranks {
+		r.closeRegions()
 		res := RankResult{
 			Rank:   i,
+			Node:   r.node,
 			Finish: r.clock.Now(),
 			Busy:   r.clock.BusyTime(),
 			Wait:   r.clock.WaitTime(),
@@ -668,15 +679,32 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 		rep.TotalMsgs += res.Stats.MsgsSent
 		busySum += res.Busy.Seconds()
 		waitSum += res.Wait.Seconds()
-		if cfg.Trace {
-			rep.Timeline = append(rep.Timeline, r.events...)
-		}
-	}
-	if cfg.Trace {
-		sortTimeline(rep.Timeline)
 	}
 	n := float64(cfg.Procs)
 	rep.MeanBusy = units.DurationFromSeconds(busySum / n)
 	rep.MeanWait = units.DurationFromSeconds(waitSum / n)
+
+	if cfg.Sink != nil {
+		// Merge per-rank logs into one deterministic stream. The ranks
+		// have joined, so this runs on a single goroutine; virtual-time
+		// ordering makes the result independent of real scheduling.
+		var tl Timeline
+		for _, r := range ranks {
+			tl = append(tl, r.events...)
+		}
+		sortTimeline(tl)
+		label := cfg.Label
+		if label == "" {
+			label = fmt.Sprintf("job p=%d", cfg.Procs)
+		}
+		cfg.Sink.Record(Event{Kind: EvJobBegin, Rank: -1, Node: -1, Peer: -1, Name: label})
+		for _, e := range tl {
+			cfg.Sink.Record(e)
+		}
+		cfg.Sink.Record(Event{
+			Kind: EvJobEnd, Rank: -1, Node: -1, Peer: -1, Name: label,
+			Start: vclock.Time(rep.Makespan), Duration: rep.Makespan,
+		})
+	}
 	return rep, nil
 }

@@ -23,6 +23,17 @@ const (
 	EvRecv
 	// EvNoise is an injected OS-noise delay.
 	EvNoise
+	// EvRegionBegin opens a named phase/region (see Rank.Region).
+	EvRegionBegin
+	// EvRegionEnd closes the innermost open region; Duration spans the
+	// whole region in virtual time.
+	EvRegionEnd
+	// EvJobBegin marks the start of a job's event stream on a sink
+	// (Rank is -1; Name carries the job label).
+	EvJobBegin
+	// EvJobEnd marks the end of a job's event stream (Duration is the
+	// job makespan).
+	EvJobEnd
 )
 
 // String names the kind.
@@ -36,6 +47,14 @@ func (k EventKind) String() string {
 		return "recv"
 	case EvNoise:
 		return "noise"
+	case EvRegionBegin:
+		return "begin"
+	case EvRegionEnd:
+		return "end"
+	case EvJobBegin:
+		return "job"
+	case EvJobEnd:
+		return "jobend"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -44,41 +63,92 @@ func (k EventKind) String() string {
 // Event is one timeline entry: what a rank did, when (virtual time), and
 // for how long.
 type Event struct {
-	Rank  int
+	Rank int
+	// Node is the node index of the recording rank (-1 for job markers).
+	Node  int
 	Kind  EventKind
 	Start vclock.Time
 	// Duration covers the event in virtual time (for EvRecv this is
-	// the blocked/wait portion).
+	// the blocked/wait portion; for EvRegionEnd the whole region; for
+	// EvJobEnd the job makespan).
 	Duration units.Duration
 	// Class is set for EvCompute.
 	Class perfmodel.KernelClass
 	// Peer is the other rank for EvSend/EvRecv, -1 otherwise.
 	Peer int
-	// Bytes is the wire size for EvSend/EvRecv.
+	// Tag is the message tag for EvSend/EvRecv (collective internals
+	// use tags ≥ 1<<20).
+	Tag int
+	// Bytes is the wire size for EvSend/EvRecv, and the metered memory
+	// traffic for EvCompute.
 	Bytes units.Bytes
+	// Flops is the metered floating-point work for EvCompute.
+	Flops units.Flops
+	// Name is the region name (EvRegionBegin/End) or job label
+	// (EvJobBegin/End).
+	Name string
 }
+
+// Finish is the virtual time at which the event completed.
+func (e Event) Finish() vclock.Time { return e.Start.Add(e.Duration) }
+
+// TraceSink consumes the event stream of traced jobs. The runtime calls
+// Record once per event, from a single goroutine, in deterministic
+// (Start, Rank) order, bracketed by EvJobBegin/EvJobEnd markers; Close is
+// the owner's signal that no further jobs will be recorded. A nil sink on
+// JobConfig disables tracing entirely.
+type TraceSink interface {
+	Record(Event)
+	Close() error
+}
+
+// MemorySink is a TraceSink that retains the full event stream in memory
+// for later analysis (e.g. by package obs).
+type MemorySink struct {
+	Events Timeline
+}
+
+// Record appends the event.
+func (m *MemorySink) Record(e Event) { m.Events = append(m.Events, e) }
+
+// Close is a no-op.
+func (m *MemorySink) Close() error { return nil }
 
 // Timeline is the merged, time-ordered event log of a traced job.
 type Timeline []Event
+
+// WriteEvent renders one event as a single text line — the line format of
+// the classic flat timeline view.
+func WriteEvent(w io.Writer, e Event) (int, error) {
+	var desc string
+	switch e.Kind {
+	case EvCompute:
+		desc = fmt.Sprintf("%-8s %v", e.Class, e.Duration)
+	case EvSend:
+		desc = fmt.Sprintf("→ rank %-4d %v", e.Peer, e.Bytes)
+	case EvRecv:
+		desc = fmt.Sprintf("← rank %-4d %v (waited %v)", e.Peer, e.Bytes, e.Duration)
+	case EvNoise:
+		desc = fmt.Sprintf("os noise %v", e.Duration)
+	case EvRegionBegin:
+		desc = e.Name
+	case EvRegionEnd:
+		desc = fmt.Sprintf("%s (%v)", e.Name, e.Duration)
+	case EvJobBegin:
+		desc = e.Name
+	case EvJobEnd:
+		desc = fmt.Sprintf("%s makespan %v", e.Name, e.Duration)
+	}
+	return fmt.Fprintf(w, "%12.6fs rank %-4d %-8s %s\n",
+		e.Start.Seconds(), e.Rank, e.Kind, desc)
+}
 
 // WriteTo renders the timeline as one line per event (sorted by start
 // time, then rank) — a poor man's trace viewer.
 func (tl Timeline) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, e := range tl {
-		var desc string
-		switch e.Kind {
-		case EvCompute:
-			desc = fmt.Sprintf("%-8s %v", e.Class, e.Duration)
-		case EvSend:
-			desc = fmt.Sprintf("→ rank %-4d %v", e.Peer, e.Bytes)
-		case EvRecv:
-			desc = fmt.Sprintf("← rank %-4d %v (waited %v)", e.Peer, e.Bytes, e.Duration)
-		case EvNoise:
-			desc = fmt.Sprintf("os noise %v", e.Duration)
-		}
-		n, err := fmt.Fprintf(w, "%12.6fs rank %-4d %-8s %s\n",
-			e.Start.Seconds(), e.Rank, e.Kind, desc)
+		n, err := WriteEvent(w, e)
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -88,6 +158,7 @@ func (tl Timeline) WriteTo(w io.Writer) (int64, error) {
 }
 
 // sortTimeline orders events by start time, breaking ties by rank.
+// The sort is stable, so each rank's program order is preserved.
 func sortTimeline(tl Timeline) {
 	sort.SliceStable(tl, func(i, j int) bool {
 		if tl[i].Start != tl[j].Start {
@@ -99,9 +170,56 @@ func sortTimeline(tl Timeline) {
 
 // record appends an event when tracing is on.
 func (r *Rank) record(e Event) {
-	if !r.job.cfg.Trace {
+	if r.job.cfg.Sink == nil {
 		return
 	}
 	e.Rank = r.id
+	e.Node = r.node
 	r.events = append(r.events, e)
+}
+
+// regionFrame is one open region on a rank's region stack.
+type regionFrame struct {
+	name  string
+	start vclock.Time
+}
+
+// Region opens a named phase/region on the rank's timeline. Regions nest;
+// each Region must be balanced by EndRegion (unbalanced regions are
+// closed automatically at job end). When the job has no trace sink this
+// is a complete no-op — annotations cost nothing in untraced runs and
+// never touch the virtual clock or statistics.
+func (r *Rank) Region(name string) {
+	if r.job.cfg.Sink == nil {
+		return
+	}
+	now := r.clock.Now()
+	r.regions = append(r.regions, regionFrame{name: name, start: now})
+	r.record(Event{Kind: EvRegionBegin, Start: now, Name: name, Peer: -1})
+}
+
+// EndRegion closes the innermost open region. No-op when tracing is off;
+// panics on an unmatched EndRegion in a traced run.
+func (r *Rank) EndRegion() {
+	if r.job.cfg.Sink == nil {
+		return
+	}
+	if len(r.regions) == 0 {
+		panic("simmpi: EndRegion without a matching Region")
+	}
+	f := r.regions[len(r.regions)-1]
+	r.regions = r.regions[:len(r.regions)-1]
+	now := r.clock.Now()
+	r.record(Event{
+		Kind: EvRegionEnd, Start: now,
+		Duration: units.Duration(now - f.start),
+		Name:     f.name, Peer: -1,
+	})
+}
+
+// closeRegions force-closes any regions a body left open at job end.
+func (r *Rank) closeRegions() {
+	for len(r.regions) > 0 {
+		r.EndRegion()
+	}
 }

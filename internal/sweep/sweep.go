@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"a64fxbench/internal/core"
+	"a64fxbench/internal/simmpi"
 )
 
 // Result is the outcome of one experiment in a sweep.
@@ -37,6 +38,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Cached reports whether the artifact came from the engine's cache.
 	Cached bool
+	// Timeline is the in-memory event log of every simulated job the
+	// experiment ran, collected when Options.Profile was set (and no
+	// external sink claimed the events). Nil otherwise.
+	Timeline simmpi.Timeline
 }
 
 // Skipped reports whether the experiment never ran because the sweep was
@@ -57,11 +62,14 @@ func Lookup(id string) (*core.Experiment, error) {
 	return nil, fmt.Errorf("sweep: unknown experiment or extension %q", id)
 }
 
-// cacheKey identifies one cached execution. core.Options is a small
-// comparable struct, so it can key the map directly.
+// cacheKey identifies one cached execution. The key carries only the
+// artifact-affecting projection of the options (core.OptionsKey):
+// observability settings never change artifact contents, so a traced
+// and an untraced execution of the same experiment are interchangeable
+// as far as the cache is concerned.
 type cacheKey struct {
 	id  string
-	opt core.Options
+	opt core.OptionsKey
 }
 
 // cacheEntry is a single-flight slot: the first requester runs the
@@ -83,6 +91,14 @@ type Engine struct {
 	// cancellation cause. Already-running experiments complete (they do
 	// not observe the context internally).
 	FailFast bool
+	// SinkFor, when non-nil, supplies a trace sink per experiment id; a
+	// nil return leaves the experiment untraced. It must return a
+	// distinct sink per id (ids run on concurrent workers, and one
+	// experiment's jobs must not interleave with another's in a sink's
+	// stream); within one experiment jobs run sequentially, so each
+	// sink's stream is deterministic. The caller owns and closes the
+	// sinks after Run returns.
+	SinkFor func(id string) simmpi.TraceSink
 
 	mu    sync.Mutex
 	cache map[cacheKey]*cacheEntry
@@ -147,7 +163,33 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 	if err := ctx.Err(); err != nil {
 		return Result{ID: id, Err: err}
 	}
-	entry, owner := e.entryFor(cacheKey{id, opt})
+	if e.SinkFor != nil {
+		if s := e.SinkFor(id); s != nil {
+			opt.Trace = s
+		}
+	}
+	// Observed runs bypass the cache in both directions: a sink must see
+	// the events of this execution (a cached artifact has none), and the
+	// artifact of a bypass run must not displace the single-flight slot
+	// other workers may be waiting on.
+	if opt.Trace != nil || opt.Profile {
+		var mem *simmpi.MemorySink
+		if opt.Profile {
+			mem = &simmpi.MemorySink{}
+			if opt.Trace != nil {
+				opt.Trace = teeSink{opt.Trace, mem}
+			} else {
+				opt.Trace = mem
+			}
+		}
+		art, err := runExperiment(id, opt)
+		res := Result{ID: id, Artifact: art, Err: err, Elapsed: time.Since(start)}
+		if mem != nil {
+			res.Timeline = mem.Events
+		}
+		return res
+	}
+	entry, owner := e.entryFor(cacheKey{id, opt.ArtifactKey()})
 	if !owner {
 		// Someone else is (or was) computing this key; wait for it.
 		select {
@@ -162,6 +204,25 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 	entry.art, entry.err = art, err
 	close(entry.ready)
 	return Result{ID: id, Artifact: art, Err: err, Elapsed: time.Since(start)}
+}
+
+// teeSink duplicates a traced run's event stream into the profile
+// collector without disturbing the caller's sink.
+type teeSink struct {
+	a, b simmpi.TraceSink
+}
+
+func (t teeSink) Record(e simmpi.Event) {
+	t.a.Record(e)
+	t.b.Record(e)
+}
+
+func (t teeSink) Close() error {
+	err := t.a.Close()
+	if err2 := t.b.Close(); err == nil {
+		err = err2
+	}
+	return err
 }
 
 // entryFor returns the cache slot for key and whether the caller owns the

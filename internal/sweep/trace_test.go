@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/simmpi"
+)
+
+// tracedIDs is the cheap subset used by the trace determinism tests:
+// enough jobs per experiment to exercise interleaving, small enough to
+// trace in memory.
+var tracedIDs = []string{"table3", "table5"}
+
+// renderSinks renders every per-id memory sink to its text timeline.
+func renderSinks(t *testing.T, sinks map[string]*simmpi.MemorySink) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for id, s := range sinks {
+		var b bytes.Buffer
+		if _, err := s.Events.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		out[id] = b.String()
+	}
+	return out
+}
+
+// runTraced sweeps tracedIDs with a per-id sink on the given worker
+// count and returns each id's rendered trace.
+func runTraced(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	eng := New(workers)
+	var mu sync.Mutex
+	sinks := map[string]*simmpi.MemorySink{}
+	eng.SinkFor = func(id string) simmpi.TraceSink {
+		mu.Lock()
+		defer mu.Unlock()
+		s := &simmpi.MemorySink{}
+		sinks[id] = s
+		return s
+	}
+	results := eng.Run(context.Background(), tracedIDs, core.Options{Quick: true})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if r.Cached {
+			t.Fatalf("%s: traced run served from cache", r.ID)
+		}
+	}
+	return renderSinks(t, sinks)
+}
+
+// TestTracedSweepParallelDeterministic is the ISSUE's byte-identity
+// gate: an 8-worker traced sweep must produce exactly the trace stream
+// of a sequential one, per experiment.
+func TestTracedSweepParallelDeterministic(t *testing.T) {
+	seq := runTraced(t, 1)
+	par := runTraced(t, 8)
+	for _, id := range tracedIDs {
+		if seq[id] == "" {
+			t.Errorf("%s: empty sequential trace", id)
+		}
+		if seq[id] != par[id] {
+			t.Errorf("%s: parallel trace differs from sequential (%d vs %d bytes)",
+				id, len(par[id]), len(seq[id]))
+		}
+	}
+}
+
+// TestTraceBypassesCache checks the cache discipline around observed
+// runs: a traced execution neither reads nor writes the cache, and the
+// artifacts it produces are identical to the untraced ones.
+func TestTraceBypassesCache(t *testing.T) {
+	ctx := context.Background()
+	id := "table5"
+	opt := core.Options{Quick: true}
+	eng := New(1)
+
+	// Prime the cache with an untraced run.
+	r1 := eng.Run(ctx, []string{id}, opt)[0]
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+
+	// Traced: must re-execute and must observe events.
+	sink := &simmpi.MemorySink{}
+	eng.SinkFor = func(string) simmpi.TraceSink { return sink }
+	r2 := eng.Run(ctx, []string{id}, opt)[0]
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.Cached {
+		t.Error("traced run was served from the cache")
+	}
+	if len(sink.Events) == 0 {
+		t.Error("traced run recorded no events")
+	}
+
+	// Untraced again: still a cache hit (tracing didn't evict), and the
+	// traced artifact matches the cached one (trace invariance).
+	eng.SinkFor = nil
+	r3 := eng.Run(ctx, []string{id}, opt)[0]
+	if r3.Err != nil {
+		t.Fatal(r3.Err)
+	}
+	if !r3.Cached {
+		t.Error("untraced rerun missed the cache after a traced run")
+	}
+	for _, pair := range [][2]*core.Artifact{{r1.Artifact, r2.Artifact}, {r1.Artifact, r3.Artifact}} {
+		a, b := renderJSON(t, pair[0]), renderJSON(t, pair[1])
+		if a != b {
+			t.Error("artifact changed across traced/untraced executions")
+		}
+	}
+}
+
+func renderJSON(t *testing.T, a *core.Artifact) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestProfileCollectsTimeline checks that Options.Profile attaches an
+// in-memory collector and surfaces the events on the Result without
+// changing the artifact.
+func TestProfileCollectsTimeline(t *testing.T) {
+	ctx := context.Background()
+	id := "table5"
+	eng := New(1)
+	plain := eng.Run(ctx, []string{id}, core.Options{Quick: true})[0]
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+	if plain.Timeline != nil {
+		t.Error("unprofiled run carries a timeline")
+	}
+	prof := eng.Run(ctx, []string{id}, core.Options{Quick: true, Profile: true})[0]
+	if prof.Err != nil {
+		t.Fatal(prof.Err)
+	}
+	if len(prof.Timeline) == 0 {
+		t.Fatal("profiled run collected no events")
+	}
+	if prof.Cached {
+		t.Error("profiled run was served from the cache")
+	}
+	if renderJSON(t, plain.Artifact) != renderJSON(t, prof.Artifact) {
+		t.Error("profiling changed the artifact")
+	}
+
+	// Profile plus an external sink: both get the full stream.
+	sink := &simmpi.MemorySink{}
+	eng.SinkFor = func(string) simmpi.TraceSink { return sink }
+	both := eng.Run(ctx, []string{id}, core.Options{Quick: true, Profile: true})[0]
+	if both.Err != nil {
+		t.Fatal(both.Err)
+	}
+	if len(both.Timeline) != len(sink.Events) {
+		t.Errorf("tee mismatch: profile saw %d events, sink saw %d",
+			len(both.Timeline), len(sink.Events))
+	}
+}
