@@ -126,6 +126,14 @@ var commands = []command{
 		},
 	},
 	cmdFunc{
+		name: "links", synopsis: "links <experiment-id>",
+		describe: "run one experiment congested and print its link heatmaps (-format, -o)",
+		minArgs:  1,
+		run: func(ctx context.Context, cfg sweepConfig, args []string) error {
+			return linksCmd(ctx, args[0], cfg)
+		},
+	},
+	cmdFunc{
 		name: "micro", synopsis: "micro [system]",
 		describe: "model-validation microbenchmarks",
 		run: func(_ context.Context, _ sweepConfig, args []string) error {
@@ -170,6 +178,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent experiments (0 = GOMAXPROCS)")
 	failFast := flag.Bool("failfast", false, "cancel remaining experiments after the first failure")
 	profile := flag.Bool("profile", false, "print per-job observability summaries after each artifact")
+	congestion := flag.Bool("congestion", false, "price multi-node communication through the routed contention model")
 	outFile := flag.String("o", "", "write trace output to FILE instead of stdout")
 	flag.Usage = usage
 	// Interleaved parsing: each Parse stops at the first non-flag token,
@@ -200,7 +209,7 @@ func main() {
 	cfg := sweepConfig{
 		quick: *quick, compare: *compare, format: *format,
 		jobs: *jobs, failFast: *failFast,
-		profile: *profile, out: *outFile,
+		profile: *profile, congestion: *congestion, out: *outFile,
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
@@ -229,6 +238,7 @@ flags (accepted before or after the command):
              trace: text (default), chrome (Perfetto) or json (analysis report)
   -o FILE    trace: write output to FILE instead of stdout
   -profile   run/all/ext: print per-job observability summaries
+  -congestion  price multi-node communication through the routed contention model
   -j N       run up to N experiments concurrently (0 = GOMAXPROCS)
   -failfast  cancel remaining experiments after the first failure
 `)

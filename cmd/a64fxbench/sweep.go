@@ -19,6 +19,9 @@ type sweepConfig struct {
 	// profile collects each experiment's event timeline and prints a
 	// per-job observability summary after its artifact.
 	profile bool
+	// congestion prices multi-node communication through the routed
+	// contention model (core.Options.Congestion).
+	congestion bool
 	// out is the trace command's output file ("" = stdout).
 	out string
 }
@@ -36,7 +39,9 @@ func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepC
 	}
 	eng := sweep.New(cfg.jobs)
 	eng.FailFast = cfg.failFast
-	results := eng.Run(ctx, ids, a64fxbench.Options{Quick: cfg.quick, Profile: cfg.profile})
+	results := eng.Run(ctx, ids, a64fxbench.Options{
+		Quick: cfg.quick, Profile: cfg.profile, Congestion: cfg.congestion,
+	})
 
 	for _, r := range results {
 		if r.Err != nil {

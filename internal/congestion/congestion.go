@@ -1,0 +1,446 @@
+// Package congestion is the contention-aware pricing layer under the
+// simmpi runtime. The contention-free netmodel prices every message on
+// an infinitely-provisioned fabric; this package instead routes every
+// recorded inter-node flow onto concrete topology links (topo.Route),
+// plays the whole flow schedule through a fluid bandwidth-sharing
+// simulation, and reports how much each flow was slowed down by the
+// traffic it shared links with.
+//
+// Bandwidth on each directed link is divided by iterative max-min fair
+// sharing (progressive filling / waterfilling): at every instant the
+// solver raises all active flows' rates together until some link
+// saturates, freezes the flows crossing it at their fair share, removes
+// that capacity, and repeats. The fluid schedule is re-solved at every
+// flow arrival and departure, so a flow's effective bandwidth varies
+// over its lifetime exactly as the set of competitors changes.
+//
+// The result per flow is a dilation factor D ≥ 1 — the ratio of its
+// fluid completion time to the time it would take alone at its
+// bottleneck-link bandwidth. The runtime multiplies the serialization
+// term of the LogGP price by D on a replayed run (see simmpi). The
+// solver is deterministic: flows are processed in (start time, flow
+// key) order, links are interned in first-use order, and no map
+// iteration ever reaches an output.
+package congestion
+
+import (
+	"math"
+	"sort"
+
+	"a64fxbench/internal/topo"
+	"a64fxbench/internal/units"
+	"a64fxbench/internal/vclock"
+)
+
+// FlowKey identifies one message flow across the two passes of a
+// congested run: the (src, dst, tag) route plus a per-route sequence
+// number in the sender's program order. SPMD bodies re-issue the same
+// keys on replay, which is what lets the replay look its dilation up.
+type FlowKey struct {
+	Src, Dst, Tag, Seq int
+}
+
+// Flow is one recorded inter-node message.
+type Flow struct {
+	Key FlowKey
+	// SrcNode and DstNode place the flow on the topology.
+	SrcNode, DstNode int
+	// Start is the sender's virtual time at injection.
+	Start vclock.Time
+	// Bytes is the wire size; zero-byte flows carry no bandwidth and
+	// are ignored by the solver.
+	Bytes units.Bytes
+}
+
+// Config parameterizes a solve.
+type Config struct {
+	// Topo supplies minimal routes between node indices.
+	Topo topo.Topology
+	// Capacity prices one directed link's bandwidth. Links priced ≤ 0
+	// are treated as unconstrained and drop out of the contention model.
+	// A nil Capacity disables contention entirely (empty solution).
+	Capacity func(topo.Link) units.ByteRate
+	// InjectionCapacity, when > 0, adds a host injection and ejection
+	// link per node to routes that do not already include them (torus
+	// routes are switch-level only), priced at this rate.
+	InjectionCapacity units.ByteRate
+	// Buckets is the utilization-series resolution (default 64).
+	Buckets int
+	// SeriesLinks bounds how many of the busiest links carry a
+	// utilization series (default 16).
+	SeriesLinks int
+}
+
+// Solution is the outcome of a solve: per-flow dilations and the
+// per-link accounting behind them.
+type Solution struct {
+	dil map[FlowKey]float64
+	// Links is the per-link contention report (never nil).
+	Links *LinkReport
+}
+
+// Dilation returns the flow's slowdown factor, ≥ 1. Unknown keys (and a
+// nil solution) dilate by exactly 1, so replayed messages the recorder
+// never saw — zero-byte or intra-node — price identically to the
+// contention-free path.
+func (s *Solution) Dilation(k FlowKey) float64 {
+	if s == nil {
+		return 1
+	}
+	if d, ok := s.dil[k]; ok {
+		return d
+	}
+	return 1
+}
+
+// MaxDilation reports the largest per-flow slowdown in the solution.
+func (s *Solution) MaxDilation() float64 {
+	worst := 1.0
+	if s == nil {
+		return worst
+	}
+	for _, d := range s.dil {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// model is the prepared fluid-simulation input: filtered flows in
+// deterministic order with interned, capacitated routes.
+type model struct {
+	flows    []Flow
+	startSec []float64
+	bytes    []float64
+	routes   [][]int32
+	links    []topo.Link
+	cap      []float64 // bytes/sec per link id, all > 0
+	minCap   float64
+	totals   linkTotals
+}
+
+// Solve routes the flows, plays them through the fluid max-min sharing
+// simulation and returns dilations plus the link report.
+func Solve(cfg Config, flows []Flow) *Solution {
+	s := &Solution{dil: map[FlowKey]float64{}, Links: &LinkReport{}}
+	if cfg.Topo == nil || cfg.Capacity == nil {
+		return s
+	}
+	fs := make([]Flow, 0, len(flows))
+	for _, f := range flows {
+		if f.Bytes > 0 && f.SrcNode != f.DstNode {
+			fs = append(fs, f)
+		}
+	}
+	if len(fs) == 0 {
+		return s
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Start != fs[j].Start {
+			return fs[i].Start < fs[j].Start
+		}
+		return flowKeyLess(fs[i].Key, fs[j].Key)
+	})
+
+	m := buildModel(cfg, fs)
+	finish := m.run(nil)
+
+	// Dilation = fluid duration over the alone-at-bottleneck duration.
+	for i := range m.flows {
+		minCap := math.Inf(1)
+		for _, l := range m.routes[i] {
+			if m.cap[l] < minCap {
+				minCap = m.cap[l]
+			}
+		}
+		if math.IsInf(minCap, 1) {
+			continue // unconstrained flow: dilation 1
+		}
+		ideal := m.bytes[i] / minCap
+		if ideal <= 0 {
+			continue
+		}
+		d := (finish[i] - m.startSec[i]) / ideal
+		if d > 1 {
+			m.setDilation(s, i, d)
+		}
+	}
+	s.Links = m.report(cfg, finish)
+	return s
+}
+
+// setDilation records one flow's dilation.
+func (m *model) setDilation(s *Solution, i int, d float64) {
+	s.dil[m.flows[i].Key] = d
+}
+
+// flowKeyLess orders flow keys lexicographically.
+func flowKeyLess(a, b FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	return a.Seq < b.Seq
+}
+
+// buildModel interns every flow's capacitated route. Links are numbered
+// in first-use order over the sorted flows, so ids are deterministic.
+func buildModel(cfg Config, fs []Flow) *model {
+	m := &model{
+		flows:    fs,
+		startSec: make([]float64, len(fs)),
+		bytes:    make([]float64, len(fs)),
+		routes:   make([][]int32, len(fs)),
+		minCap:   math.Inf(1),
+	}
+	ids := map[topo.Link]int32{}
+	intern := func(l topo.Link) (int32, bool) {
+		if id, ok := ids[l]; ok {
+			return id, id >= 0
+		}
+		c := float64(cfg.Capacity(l))
+		if l.Level == topo.LevelHostUp || l.Level == topo.LevelHostDown {
+			if inj := float64(cfg.InjectionCapacity); inj > 0 {
+				c = inj
+			}
+		}
+		if c <= 0 {
+			ids[l] = -1 // unconstrained: excluded from the model
+			return -1, false
+		}
+		id := int32(len(m.links))
+		ids[l] = id
+		m.links = append(m.links, l)
+		m.cap = append(m.cap, c)
+		if c < m.minCap {
+			m.minCap = c
+		}
+		return id, true
+	}
+	type pairKey struct{ a, b int }
+	pairRoutes := map[pairKey][]int32{}
+	var buf []topo.Link
+	for i, f := range fs {
+		m.startSec[i] = f.Start.Seconds()
+		m.bytes[i] = float64(f.Bytes)
+		pk := pairKey{f.SrcNode, f.DstNode}
+		route, ok := pairRoutes[pk]
+		if !ok {
+			buf = topo.RouteAppend(cfg.Topo, buf[:0], f.SrcNode, f.DstNode)
+			hosts := len(buf) > 0 && buf[0].Level == topo.LevelHostUp
+			if !hosts && cfg.InjectionCapacity > 0 {
+				// Switch-level routes (tori) still funnel through the
+				// source and destination nodes' network interfaces.
+				if id, ok := intern(topo.Link{Level: topo.LevelHostUp, From: int32(f.SrcNode), To: -1}); ok {
+					route = append(route, id)
+				}
+			}
+			for _, l := range buf {
+				if id, ok := intern(l); ok {
+					route = append(route, id)
+				}
+			}
+			if !hosts && cfg.InjectionCapacity > 0 {
+				if id, ok := intern(topo.Link{Level: topo.LevelHostDown, From: -1, To: int32(f.DstNode)}); ok {
+					route = append(route, id)
+				}
+			}
+			pairRoutes[pk] = route
+		}
+		m.routes[i] = route
+	}
+	return m
+}
+
+// segFunc observes one fluid integration step on one link: bytes moved
+// across the link during [t0, t0+dt).
+type segFunc func(link int32, t0, dt, bytes float64)
+
+// linkTotals is the per-link accounting a run accumulates.
+type linkTotals struct {
+	busy  []float64
+	bytes []float64
+	flows []int64
+	peak  []int32
+}
+
+// run plays the fluid max-min schedule and returns every flow's finish
+// time (seconds). The accounting of the most recent run is kept on
+// m.totals; seg, when non-nil, additionally observes every per-link
+// integration step (used to build bucketed utilization series).
+func (m *model) run(seg segFunc) []float64 {
+	n := len(m.flows)
+	nl := len(m.links)
+	m.totals = linkTotals{
+		busy:  make([]float64, nl),
+		bytes: make([]float64, nl),
+		flows: make([]int64, nl),
+		peak:  make([]int32, nl),
+	}
+	finish := make([]float64, n)
+	rem := append([]float64(nil), m.bytes...)
+	rates := make([]float64, n)
+	frozen := make([]bool, n)
+	active := make([]int, 0, 64)
+
+	cnt := make([]int32, nl)     // active flows per link (incremental)
+	cntWork := make([]int32, nl) // waterfill working copy
+	capLeft := make([]float64, nl)
+	rateSum := make([]float64, nl)
+	stamp := make([]int, nl)  // touched-set membership, by generation
+	bstamp := make([]int, nl) // bottleneck marks, by generation
+	gen, bgen := 0, 0
+	touched := make([]int32, 0, 256)
+
+	const epsBytes = 1e-3
+	i := 0
+	t := m.startSec[0]
+	for i < n || len(active) > 0 {
+		for i < n && m.startSec[i] <= t {
+			active = append(active, i)
+			for _, l := range m.routes[i] {
+				cnt[l]++
+				m.totals.flows[l]++
+				if cnt[l] > m.totals.peak[l] {
+					m.totals.peak[l] = cnt[l]
+				}
+			}
+			i++
+		}
+		if len(active) == 0 {
+			t = m.startSec[i]
+			continue
+		}
+
+		// Waterfill: progressively freeze flows at the fair share of
+		// their first-saturating link.
+		gen++
+		touched = touched[:0]
+		unfrozen := len(active)
+		for _, f := range active {
+			frozen[f] = false
+			if len(m.routes[f]) == 0 {
+				// Unconstrained flow: transfers at infinite fluid rate
+				// (it retires this event with zero elapsed time).
+				rates[f], frozen[f] = math.Inf(1), true
+				unfrozen--
+				continue
+			}
+			for _, l := range m.routes[f] {
+				if stamp[l] != gen {
+					stamp[l] = gen
+					capLeft[l] = m.cap[l]
+					cntWork[l] = cnt[l]
+					rateSum[l] = 0
+					touched = append(touched, l)
+				}
+			}
+		}
+		for unfrozen > 0 {
+			share := math.Inf(1)
+			for _, l := range touched {
+				if cntWork[l] > 0 {
+					if s := capLeft[l] / float64(cntWork[l]); s < share {
+						share = s
+					}
+				}
+			}
+			if share <= 0 {
+				// Float residue from near-tied bottlenecks; keep the
+				// schedule moving at a negligible rate.
+				share = m.minCap * 1e-9
+			}
+			bgen++
+			for _, l := range touched {
+				if cntWork[l] > 0 && capLeft[l]/float64(cntWork[l]) <= share {
+					bstamp[l] = bgen
+				}
+			}
+			for _, f := range active {
+				if frozen[f] {
+					continue
+				}
+				hit := false
+				for _, l := range m.routes[f] {
+					if bstamp[l] == bgen {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				rates[f], frozen[f] = share, true
+				unfrozen--
+				for _, l := range m.routes[f] {
+					capLeft[l] -= share
+					if capLeft[l] < 0 {
+						capLeft[l] = 0
+					}
+					cntWork[l]--
+				}
+			}
+		}
+
+		// Advance to the next arrival or the first completion.
+		dtFin := math.Inf(1)
+		for _, f := range active {
+			if d := rem[f] / rates[f]; d < dtFin {
+				dtFin = d
+			}
+		}
+		arrival := false
+		dt := dtFin
+		if i < n {
+			if dtArr := m.startSec[i] - t; dtArr < dtFin {
+				dt, arrival = dtArr, true
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		for _, f := range active {
+			if math.IsInf(rates[f], 1) {
+				rem[f] = 0 // unconstrained: completes within this event
+				continue
+			}
+			rem[f] -= rates[f] * dt
+			for _, l := range m.routes[f] {
+				rateSum[l] += rates[f]
+			}
+		}
+		for _, l := range touched {
+			m.totals.busy[l] += dt
+			moved := rateSum[l] * dt
+			m.totals.bytes[l] += moved
+			if seg != nil {
+				seg(l, t, dt, moved)
+			}
+		}
+		if arrival {
+			t = m.startSec[i]
+		} else {
+			t += dt
+		}
+		w := 0
+		for _, f := range active {
+			if rem[f] <= epsBytes {
+				finish[f] = t
+				for _, l := range m.routes[f] {
+					cnt[l]--
+				}
+			} else {
+				active[w] = f
+				w++
+			}
+		}
+		active = active[:w]
+	}
+	return finish
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// Quick reduces simulated iteration counts for fast smoke runs;
 	// rates and shapes are unchanged (the simulation is steady-state).
 	Quick bool
+	// Congestion enables contention-aware interconnect pricing for every
+	// multi-node job the experiment runs (see simmpi.JobConfig). Off by
+	// default: the contention-free model is what the golden artifacts
+	// pin. Single-node results never change either way.
+	Congestion bool
 	// Trace, when non-nil, receives the event timelines of every
 	// simulated job the experiment runs (each bracketed by job markers;
 	// see simmpi.TraceSink). Tracing never changes artifact contents.
@@ -58,11 +63,14 @@ type Options struct {
 // Observability settings are deliberately excluded: traced and untraced
 // executions must produce byte-identical artifacts.
 type OptionsKey struct {
-	Quick bool
+	Quick      bool
+	Congestion bool
 }
 
 // ArtifactKey projects the options onto their artifact-affecting fields.
-func (o Options) ArtifactKey() OptionsKey { return OptionsKey{Quick: o.Quick} }
+func (o Options) ArtifactKey() OptionsKey {
+	return OptionsKey{Quick: o.Quick, Congestion: o.Congestion}
+}
 
 // Cell is one measured value with an optional paper reference.
 type Cell struct {

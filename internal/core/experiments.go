@@ -144,7 +144,7 @@ var _ = register(&Experiment{
 			res, err := hpcg.Run(hpcg.Config{
 				System: arch.MustGet(r.sys), Nodes: 1,
 				Iterations: iters, Optimised: r.optimised,
-				Trace: opt.Trace,
+				Trace: opt.Trace, Congestion: opt.Congestion,
 			})
 			if err != nil {
 				return nil, err
@@ -194,7 +194,7 @@ var _ = register(&Experiment{
 				res, err := hpcg.Run(hpcg.Config{
 					System: arch.MustGet(id), Nodes: nodes,
 					Iterations: iters, Optimised: optimised,
-					Trace: opt.Trace,
+					Trace: opt.Trace, Congestion: opt.Congestion,
 				})
 				if err != nil {
 					return nil, err
@@ -232,7 +232,7 @@ var _ = register(&Experiment{
 		for _, id := range []arch.ID{arch.A64FX, arch.NGIO, arch.Fulhame} {
 			res, err := minikab.Run(minikab.Config{
 				System: arch.MustGet(id), Nodes: 1, RanksPerNode: 1,
-				Iterations: iters, Trace: opt.Trace,
+				Iterations: iters, Trace: opt.Trace, Congestion: opt.Congestion,
 			})
 			if err != nil {
 				return nil, err
@@ -288,7 +288,7 @@ var _ = register(&Experiment{
 			res, err := minikab.Run(minikab.Config{
 				System: arch.MustGet(arch.A64FX), Nodes: 2,
 				RanksPerNode: c.rpn, ThreadsPerRank: c.tpr, Iterations: iters,
-				Trace: opt.Trace,
+				Trace: opt.Trace, Congestion: opt.Congestion,
 			})
 			if err != nil {
 				return nil, err
@@ -329,6 +329,7 @@ var _ = register(&Experiment{
 			cfg := minikab.BestA64FXConfig(nodes)
 			cfg.Iterations = iters
 			cfg.Trace = opt.Trace
+			cfg.Congestion = opt.Congestion
 			res, err := minikab.Run(cfg)
 			if err != nil {
 				return nil, err
@@ -343,6 +344,7 @@ var _ = register(&Experiment{
 			cfg := minikab.FulhameConfig(nodes)
 			cfg.Iterations = iters
 			cfg.Trace = opt.Trace
+			cfg.Congestion = opt.Congestion
 			res, err := minikab.Run(cfg)
 			if err != nil {
 				return nil, err
@@ -382,11 +384,11 @@ var _ = register(&Experiment{
 		type pair struct{ plain, fast float64 }
 		meas := map[arch.ID]pair{}
 		for _, id := range ids {
-			p, err := nekbone.Run(nekbone.Config{System: arch.MustGet(id), Nodes: 1, Iterations: iters, Trace: opt.Trace})
+			p, err := nekbone.Run(nekbone.Config{System: arch.MustGet(id), Nodes: 1, Iterations: iters, Trace: opt.Trace, Congestion: opt.Congestion})
 			if err != nil {
 				return nil, err
 			}
-			f, err := nekbone.Run(nekbone.Config{System: arch.MustGet(id), Nodes: 1, Iterations: iters, FastMath: true, Trace: opt.Trace})
+			f, err := nekbone.Run(nekbone.Config{System: arch.MustGet(id), Nodes: 1, Iterations: iters, FastMath: true, Trace: opt.Trace, Congestion: opt.Congestion})
 			if err != nil {
 				return nil, err
 			}
@@ -446,7 +448,7 @@ var _ = register(&Experiment{
 				}
 				res, err := nekbone.Run(nekbone.Config{
 					System: sys, Nodes: 1, CoresPerNode: c, Iterations: iters,
-					Trace: opt.Trace,
+					Trace: opt.Trace, Congestion: opt.Congestion,
 				})
 				if err != nil {
 					return nil, err
@@ -483,13 +485,13 @@ var _ = register(&Experiment{
 		}
 		for _, id := range []arch.ID{arch.A64FX, arch.Fulhame, arch.ARCHER} {
 			sys := arch.MustGet(id)
-			base, err := nekbone.Run(nekbone.Config{System: sys, Nodes: 1, Iterations: iters, FastMath: true, Trace: opt.Trace})
+			base, err := nekbone.Run(nekbone.Config{System: sys, Nodes: 1, Iterations: iters, FastMath: true, Trace: opt.Trace, Congestion: opt.Congestion})
 			if err != nil {
 				return nil, err
 			}
 			var cells []Cell
 			for i, nodes := range []int{2, 4, 8, 16} {
-				res, err := nekbone.Run(nekbone.Config{System: sys, Nodes: nodes, Iterations: iters, FastMath: true, Trace: opt.Trace})
+				res, err := nekbone.Run(nekbone.Config{System: sys, Nodes: nodes, Iterations: iters, FastMath: true, Trace: opt.Trace, Congestion: opt.Congestion})
 				if err != nil {
 					return nil, err
 				}
@@ -557,7 +559,7 @@ var _ = register(&Experiment{
 		for _, id := range arch.IDs() {
 			var cells []Cell
 			for _, nodes := range nodeCounts {
-				res, err := cosa.Run(cosa.Config{System: arch.MustGet(id), Nodes: nodes, Case: tc, Trace: opt.Trace})
+				res, err := cosa.Run(cosa.Config{System: arch.MustGet(id), Nodes: nodes, Case: tc, Trace: opt.Trace, Congestion: opt.Congestion})
 				if err != nil {
 					cells = append(cells, txt("(OOM)"))
 					continue
@@ -696,7 +698,7 @@ var _ = register(&Experiment{
 		for _, id := range []arch.ID{arch.A64FX, arch.Cirrus, arch.NGIO, arch.Fulhame} {
 			var cells []Cell
 			for i, nodes := range []int{1, 2, 4, 8} {
-				res, err := opensbli.Run(opensbli.Config{System: arch.MustGet(id), Nodes: nodes, Case: tc, Trace: opt.Trace})
+				res, err := opensbli.Run(opensbli.Config{System: arch.MustGet(id), Nodes: nodes, Case: tc, Trace: opt.Trace, Congestion: opt.Congestion})
 				if err != nil {
 					return nil, err
 				}

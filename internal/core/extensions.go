@@ -10,7 +10,6 @@ import (
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/perfmodel"
-	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
 )
 
@@ -115,7 +114,7 @@ var _ = registerExt(&Experiment{
 				return nil, err
 			}
 			_ = base
-			res, err := hpcg.Run(hpcg.Config{System: sys, Nodes: 8, Iterations: iters, Trace: opt.Trace})
+			res, err := hpcg.Run(hpcg.Config{System: sys, Nodes: 8, Iterations: iters, Trace: opt.Trace, Congestion: opt.Congestion})
 			if err != nil {
 				return nil, err
 			}
@@ -157,11 +156,11 @@ var _ = registerExt(&Experiment{
 		sys := arch.MustGet(arch.A64FX)
 		// Baseline (noise applies equally to the 1-node run).
 		for _, prob := range []float64{0, 1e-6, 1e-5, 1e-4} {
-			base, err := nekboneRunWithNoise(sys, 1, iters, prob, opt.Trace)
+			base, err := nekboneRunWithNoise(sys, 1, iters, prob, opt)
 			if err != nil {
 				return nil, err
 			}
-			scaled, err := nekboneRunWithNoise(sys, 16, iters, prob, opt.Trace)
+			scaled, err := nekboneRunWithNoise(sys, 16, iters, prob, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -175,12 +174,13 @@ var _ = registerExt(&Experiment{
 
 // nekboneRunWithNoise runs the metered Nekbone loop with an explicit
 // noise probability, bypassing the benchmark's calibrated default.
-func nekboneRunWithNoise(sys *arch.System, nodes, iters int, noise float64, trace simmpi.TraceSink) (float64, error) {
+func nekboneRunWithNoise(sys *arch.System, nodes, iters int, noise float64, opt Options) (float64, error) {
 	// Reuse the public benchmark but override noise via a derived
 	// system is not possible (noise lives in the job); replicate the
 	// essential loop compactly instead.
 	res, err := nekbone.RunWithNoise(nekbone.Config{
-		System: sys, Nodes: nodes, Iterations: iters, FastMath: true, Trace: trace,
+		System: sys, Nodes: nodes, Iterations: iters, FastMath: true,
+		Trace: opt.Trace, Congestion: opt.Congestion,
 	}, noise, units.Duration(30*units.Millisecond))
 	if err != nil {
 		return 0, err

@@ -55,6 +55,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (simmpi.JobConfig.Congestion).
+	Congestion bool
 }
 
 // Result is the outcome of a metered run.
@@ -132,6 +135,7 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
+		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
 		Label:          fmt.Sprintf("cosa %s n=%d", sys.ID, cfg.Nodes),
 	}

@@ -143,6 +143,8 @@ type HaloSpec struct {
 // (the runtime meters bytes, not payload length). The tag parameter
 // separates concurrent exchanges.
 func Exchange(r *simmpi.Rank, g Grid3D, spec HaloSpec, tag int) {
+	r.Region("halo")
+	defer r.EndRegion()
 	type pending struct {
 		nbr  int
 		face Face

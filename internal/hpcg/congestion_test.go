@@ -1,0 +1,92 @@
+package hpcg_test
+
+import (
+	"testing"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/hpcg"
+)
+
+// quickCfg is a small HPCG configuration (16³ local grid, 2 MG levels,
+// 2 iterations) that keeps these golden-gate tests fast while still
+// exercising halo exchange on every level.
+func quickCfg(nodes int, congestion bool) hpcg.Config {
+	return hpcg.Config{
+		System: arch.MustGet(arch.A64FX),
+		Nodes:  nodes, NX: 16, NY: 16, NZ: 16,
+		Levels: 2, Iterations: 2,
+		Congestion: congestion,
+	}
+}
+
+// TestCongestionSlowsMultiNodeHPCG is the golden gate for the contention
+// model's sign: with the routed congestion model on, a multi-node HPCG
+// run must get strictly slower — halo exchanges and allreduces now share
+// links — and never faster.
+func TestCongestionSlowsMultiNodeHPCG(t *testing.T) {
+	t.Parallel()
+	free, err := hpcg.Run(quickCfg(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := hpcg.Run(quickCfg(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong.Seconds <= free.Seconds {
+		t.Errorf("congested 2-node HPCG took %vs, contention-free %vs; want strictly slower",
+			cong.Seconds, free.Seconds)
+	}
+	if cong.GFLOPs >= free.GFLOPs {
+		t.Errorf("congested GFLOPs %v ≥ contention-free %v", cong.GFLOPs, free.GFLOPs)
+	}
+	if cong.Report.Links == nil {
+		t.Error("congested multi-node run reported no link accounting")
+	}
+	if free.Report.Links != nil {
+		t.Error("contention-free run reported link accounting")
+	}
+}
+
+// TestCongestionLeavesSingleNodeExact pins the flag's no-op contract:
+// on one node there is no interconnect, so every result field must be
+// bit-identical with Congestion on or off.
+func TestCongestionLeavesSingleNodeExact(t *testing.T) {
+	t.Parallel()
+	free, err := hpcg.Run(quickCfg(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := hpcg.Run(quickCfg(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong.GFLOPs != free.GFLOPs || cong.Seconds != free.Seconds {
+		t.Errorf("single-node results differ under Congestion: %v/%v vs %v/%v GFLOPs/s",
+			cong.GFLOPs, cong.Seconds, free.GFLOPs, free.Seconds)
+	}
+	if cong.Report.Links != nil {
+		t.Error("single-node congested run reported link accounting")
+	}
+}
+
+// TestCongestedHPCGIsDeterministic reruns the same congested
+// configuration and demands bit-identical ratings: the two-pass replay
+// must not depend on goroutine scheduling.
+func TestCongestedHPCGIsDeterministic(t *testing.T) {
+	t.Parallel()
+	first, err := hpcg.Run(quickCfg(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := hpcg.Run(quickCfg(2, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.GFLOPs != first.GFLOPs || again.Seconds != first.Seconds {
+			t.Fatalf("run %d diverged: %v/%v vs %v/%v", i+2,
+				again.GFLOPs, again.Seconds, first.GFLOPs, first.Seconds)
+		}
+	}
+}

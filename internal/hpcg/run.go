@@ -33,6 +33,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (simmpi.JobConfig.Congestion).
+	Congestion bool
 }
 
 // OptimisedKernelGain is the memory-efficiency gain of the vendor-
@@ -188,6 +191,7 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
+		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
 		Label:          fmt.Sprintf("hpcg %s n=%d %dx%dx%d", sys.ID, cfg.Nodes, cfg.NX, cfg.NY, cfg.NZ),
 	}

@@ -53,6 +53,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (simmpi.JobConfig.Congestion).
+	Congestion bool
 }
 
 // DefaultIterations is the fixed Benchmark1 CG iteration count used by
@@ -178,6 +181,7 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: cfg.ThreadsPerRank,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
+		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
 		Label:          fmt.Sprintf("minikab %s n=%d r=%d t=%d", sys.ID, cfg.Nodes, cfg.RanksPerNode, cfg.ThreadsPerRank),
 	}

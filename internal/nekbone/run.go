@@ -33,6 +33,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (simmpi.JobConfig.Congestion).
+	Congestion bool
 }
 
 func (c *Config) defaults() error {
@@ -149,6 +152,7 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      noiseProb,
 		NoiseDuration:  noiseDur,
+		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
 		Label:          fmt.Sprintf("nekbone %s n=%d c=%d", sys.ID, cfg.Nodes, cfg.CoresPerNode),
 	}

@@ -1,0 +1,73 @@
+package netmodel
+
+import (
+	"testing"
+
+	"a64fxbench/internal/topo"
+	"a64fxbench/internal/units"
+)
+
+func TestPointToPointDilated(t *testing.T) {
+	t.Parallel()
+	f := NewTofuD(16)
+	const bytes = units.MiB
+	base := f.PointToPoint(0, 5, bytes)
+	if got := f.PointToPointDilated(0, 5, bytes, 1); got != base {
+		t.Errorf("dilation 1: %v != PointToPoint %v", got, base)
+	}
+	if got := f.PointToPointDilated(0, 5, bytes, 0.5); got != base {
+		t.Errorf("dilation < 1 must clamp to PointToPoint: %v != %v", got, base)
+	}
+	if got := f.PointToPointDilated(0, 0, bytes, 3); got != f.PointToPoint(0, 0, bytes) {
+		t.Errorf("intra-node is never dilated: got %v", got)
+	}
+	// Dilation 2 adds exactly one extra serialization term.
+	ser := units.TimeFor(float64(bytes), float64(f.effBandwidth()))
+	want := base + ser
+	got := f.PointToPointDilated(0, 5, bytes, 2)
+	if diff := (got - want).Seconds(); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("dilation 2 = %v, want %v", got, want)
+	}
+}
+
+func TestLinkCapacity(t *testing.T) {
+	t.Parallel()
+	f := NewFDRInfiniBand()
+	up := topo.Link{Level: topo.LevelHostUp, From: 0, To: 1}
+	down := topo.Link{Level: topo.LevelHostDown, From: 1, To: 3}
+	core := topo.Link{Level: topo.LevelUp, From: 0, To: 1}
+	if got := f.LinkCapacity(up); got != f.InjectionBandwidth {
+		t.Errorf("injection link capacity = %v, want %v", got, f.InjectionBandwidth)
+	}
+	if got := f.LinkCapacity(down); got != f.InjectionBandwidth {
+		t.Errorf("ejection link capacity = %v, want %v", got, f.InjectionBandwidth)
+	}
+	if got := f.LinkCapacity(core); got != f.LinkBandwidth {
+		t.Errorf("switch link capacity = %v, want %v", got, f.LinkBandwidth)
+	}
+	// Zero injection bandwidth falls back to the link rate.
+	bare := &Fabric{LinkBandwidth: 5 * units.GBPerSec}
+	if got := bare.LinkCapacity(up); got != bare.LinkBandwidth {
+		t.Errorf("fallback capacity = %v, want %v", got, bare.LinkBandwidth)
+	}
+}
+
+func TestOversubscribedFatTreeConstructors(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		f       *Fabric
+		uplinks int
+	}{
+		{NewFDRInfiniBand(), 18},
+		{NewOmniPath(), 16},
+		{NewEDRInfiniBand(), 0}, // non-blocking
+	} {
+		ft, ok := tc.f.Topo.(*topo.FatTree)
+		if !ok {
+			t.Fatalf("%s: not a fat tree", tc.f.Name)
+		}
+		if ft.Uplinks != tc.uplinks {
+			t.Errorf("%s: Uplinks = %d, want %d", tc.f.Name, ft.Uplinks, tc.uplinks)
+		}
+	}
+}

@@ -64,6 +64,33 @@ func (f *Fabric) PointToPoint(a, b int, bytes units.Bytes) units.Duration {
 	return t
 }
 
+// PointToPointDilated prices a message whose serialization term is
+// stretched by a contention dilation factor dil ≥ 1 (computed by the
+// congestion package from the link-level flow schedule). The latency
+// terms are unaffected — contention queues bytes, not signal time — so
+// dil == 1 reproduces PointToPoint exactly.
+func (f *Fabric) PointToPointDilated(a, b int, bytes units.Bytes, dil float64) units.Duration {
+	if a == b || dil <= 1 {
+		return f.PointToPoint(a, b, bytes)
+	}
+	hops := f.Topo.Hops(a, b)
+	t := f.SoftwareOverhead + units.Duration(hops)*f.HopLatency
+	t += units.TimeFor(float64(bytes)*dil, float64(f.effBandwidth()))
+	return t
+}
+
+// LinkCapacity prices one topology link for the contention model: host
+// injection/ejection ports carry the NIC's injection bandwidth, every
+// switch-level link the link bandwidth.
+func (f *Fabric) LinkCapacity(l topo.Link) units.ByteRate {
+	if l.Level == topo.LevelHostUp || l.Level == topo.LevelHostDown {
+		if f.InjectionBandwidth > 0 {
+			return f.InjectionBandwidth
+		}
+	}
+	return f.LinkBandwidth
+}
+
 // Latency reports the zero-byte one-way latency between two nodes.
 func (f *Fabric) Latency(a, b int) units.Duration {
 	return f.PointToPoint(a, b, 0)
@@ -215,8 +242,10 @@ func NewAries() *Fabric {
 // NewFDRInfiniBand prices Cirrus's Mellanox FDR fat tree.
 func NewFDRInfiniBand() *Fabric {
 	return &Fabric{
-		Name:               "FDR InfiniBand",
-		Topo:               &topo.FatTree{NodesPerLeaf: 36, Label: "FDR fat-tree"},
+		Name: "FDR InfiniBand",
+		// 2:1 oversubscribed at the leaf (18 uplinks per 36-port edge
+		// switch) — Hops is unchanged, only contention sees it.
+		Topo:               &topo.FatTree{NodesPerLeaf: 36, Uplinks: 18, Label: "FDR fat-tree"},
 		SoftwareOverhead:   units.Duration(1200 * units.Nanosecond),
 		HopLatency:         units.Duration(150 * units.Nanosecond),
 		LinkBandwidth:      6.8 * units.GBPerSec, // 56 Gb/s signalling
@@ -239,8 +268,9 @@ func NewEDRInfiniBand() *Fabric {
 // NewOmniPath prices EPCC NGIO's Intel OmniPath fabric.
 func NewOmniPath() *Fabric {
 	return &Fabric{
-		Name:               "OmniPath",
-		Topo:               &topo.FatTree{NodesPerLeaf: 32, Label: "OPA fat-tree"},
+		Name: "OmniPath",
+		// 2:1 oversubscribed at the leaf; EDR above stays non-blocking.
+		Topo:               &topo.FatTree{NodesPerLeaf: 32, Uplinks: 16, Label: "OPA fat-tree"},
 		SoftwareOverhead:   units.Duration(1300 * units.Nanosecond),
 		HopLatency:         units.Duration(140 * units.Nanosecond),
 		LinkBandwidth:      12.5 * units.GBPerSec, // 100 Gb/s

@@ -121,6 +121,14 @@ func chromeEventFor(e simmpi.Event, pid int) (chromeEvent, bool) {
 			Name: e.Name, Cat: "region", Ph: "E",
 			Ts: micros(e.Start), Pid: pid, Tid: e.Rank,
 		}, true
+	case simmpi.EvLinkSample:
+		// Counter track per link: Perfetto renders these as a stacked
+		// area chart of utilization over time.
+		return chromeEvent{
+			Name: "link " + e.Name, Cat: "link", Ph: "C",
+			Ts: micros(e.Start), Pid: pid, Tid: 0,
+			Args: map[string]any{"util": e.Value},
+		}, true
 	default:
 		return chromeEvent{}, false
 	}

@@ -20,6 +20,9 @@ type Report struct {
 	CommByNode   *CommMatrix     `json:"comm_by_node,omitempty"`
 	Roofline     []RooflinePoint `json:"roofline"`
 	CriticalPath *CriticalPath   `json:"critical_path"`
+	// Links is the interconnect contention heatmap; present only for
+	// congestion-enabled jobs (traces without link events leave it nil).
+	Links *LinkHeatmap `json:"links,omitempty"`
 }
 
 // Analyze runs every analysis over one job trace.
@@ -36,6 +39,7 @@ func Analyze(jt JobTrace, peaks Peaks) (*Report, error) {
 		Comm:         BuildCommMatrix(jt),
 		Roofline:     BuildRoofline(peaks, jt),
 		CriticalPath: cp,
+		Links:        BuildLinkHeatmap(jt),
 	}
 	if rep.Nodes > 1 {
 		rep.CommByNode = rep.Comm.NodeView()
@@ -81,5 +85,14 @@ func (r *Report) Render(w io.Writer, peaks Peaks) error {
 	if _, err := io.WriteString(w, "\n"); err != nil {
 		return err
 	}
-	return r.Comm.Render(w)
+	if err := r.Comm.Render(w); err != nil {
+		return err
+	}
+	if r.Links != nil {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		return r.Links.Render(w)
+	}
+	return nil
 }

@@ -38,6 +38,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (simmpi.JobConfig.Congestion).
+	Congestion bool
 }
 
 // Result is the outcome of a metered run.
@@ -114,6 +117,7 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
+		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
 		Label:          fmt.Sprintf("opensbli %s n=%d g=%d", sys.ID, cfg.Nodes, tc.Grid),
 	}

@@ -22,8 +22,10 @@ import (
 	"math"
 	"sync"
 
+	"a64fxbench/internal/congestion"
 	"a64fxbench/internal/netmodel"
 	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/topo"
 	"a64fxbench/internal/units"
 	"a64fxbench/internal/vclock"
 )
@@ -58,6 +60,17 @@ type JobConfig struct {
 	// paper's Table VII values.
 	NoiseProb     float64
 	NoiseDuration units.Duration
+	// Congestion switches inter-node message pricing to the
+	// contention-aware two-pass replay: the job first runs contention-
+	// free with tracing off while recording every inter-node flow, the
+	// congestion package solves per-flow dilations by max-min fair
+	// sharing over the topology's routed links, and the job then re-runs
+	// with each message's serialization term stretched by its flow's
+	// dilation. Deterministic bodies see identical data in both passes,
+	// so results stay bit-reproducible; only virtual times change.
+	// Single-node jobs are never congested (shared memory is priced
+	// separately), so their results are exactly those of the default.
+	Congestion bool
 	// Sink receives the job's event timeline (compute phases, sends,
 	// receives, noise, region annotations). When nil — the default —
 	// tracing is off and costs nothing. Events are streamed to the sink
@@ -109,9 +122,10 @@ func (c *JobConfig) validate() error {
 // singleNodeTopo is the trivial topology of one node.
 type singleNodeTopo struct{}
 
-func (singleNodeTopo) Name() string      { return "single-node" }
-func (singleNodeTopo) Hops(a, b int) int { return 0 }
-func (singleNodeTopo) MaxNodes() int     { return 1 }
+func (singleNodeTopo) Name() string               { return "single-node" }
+func (singleNodeTopo) Hops(a, b int) int          { return 0 }
+func (singleNodeTopo) Route(a, b int) []topo.Link { return nil }
+func (singleNodeTopo) MaxNodes() int              { return 1 }
 
 // message is the unit carried between ranks.
 type message struct {
@@ -127,8 +141,9 @@ type mailboxKey struct {
 
 // job is the shared state of a running simulated job.
 type job struct {
-	cfg   JobConfig
-	boxes sync.Map // mailboxKey → chan message
+	cfg     JobConfig
+	congest *congestState // nil unless Congestion is on and Nodes > 1
+	boxes   sync.Map      // mailboxKey → chan message
 
 	// Split coordination (see comm.go).
 	splitMu  sync.Mutex
@@ -175,6 +190,12 @@ type Rank struct {
 	noiseSeq uint64
 	events   []Event
 	regions  []regionFrame
+
+	// Congestion-replay state (see congested.go): flowSeq numbers this
+	// rank's sends per (dst, tag) in program order so both passes derive
+	// identical flow keys; flows is the recording pass's log.
+	flowSeq map[flowRoute]int
+	flows   []congestion.Flow
 }
 
 // ID returns the rank number in [0, Size).
@@ -252,10 +273,27 @@ func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
 		panic(fmt.Sprintf("simmpi: send to invalid rank %d (size %d)", dst, r.size))
 	}
 	f := r.job.cfg.Fabric
-	total := f.PointToPoint(r.node, r.job.cfg.NodeOf(dst), bytes)
+	dstNode := r.job.cfg.NodeOf(dst)
+	sendAt := r.clock.Now()
+	var total units.Duration
+	if cs := r.job.congest; cs != nil && dstNode != r.node {
+		k := congestion.FlowKey{Src: r.id, Dst: dst, Tag: tag, Seq: r.nextFlowSeq(dst, tag)}
+		if cs.recording {
+			total = f.PointToPoint(r.node, dstNode, bytes)
+			if bytes > 0 {
+				r.flows = append(r.flows, congestion.Flow{
+					Key: k, SrcNode: r.node, DstNode: dstNode,
+					Start: sendAt, Bytes: bytes,
+				})
+			}
+		} else {
+			total = f.PointToPointDilated(r.node, dstNode, bytes, cs.sol.Dilation(k))
+		}
+	} else {
+		total = f.PointToPoint(r.node, dstNode, bytes)
+	}
 	// The sender's CPU is occupied for the injection overhead; the rest
 	// of the transfer overlaps with whatever the sender does next.
-	sendAt := r.clock.Now()
 	r.clock.Advance(f.SoftwareOverhead / 2)
 	r.job.box(mailboxKey{r.id, dst, tag}) <- message{
 		payload: payload,
@@ -608,6 +646,9 @@ type Report struct {
 	MeanWait units.Duration
 	// Ranks holds per-rank results, indexed by rank.
 	Ranks []RankResult
+	// Links is the per-link contention accounting of a congestion-
+	// enabled multi-node run; nil otherwise.
+	Links *congestion.LinkReport
 }
 
 // GFLOPs reports the aggregate achieved rate: total flops over makespan.
@@ -625,40 +666,23 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 	if err := cfg.validate(); err != nil {
 		return Report{}, err
 	}
-	j := &job{cfg: cfg, splitSeq: map[int]int{}}
-	ranks := make([]*Rank, cfg.Procs)
-	for i := range ranks {
-		ranks[i] = &Rank{
-			id:    i,
-			size:  cfg.Procs,
-			node:  cfg.NodeOf(i),
-			clock: vclock.NewClock(),
-			model: cfg.RankModel(i),
-			job:   j,
-		}
-	}
-	errs := make([]error, cfg.Procs)
-	var wg sync.WaitGroup
-	for i := range ranks {
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[r.id] = fmt.Errorf("rank %d panicked: %v", r.id, p)
-				}
-			}()
-			errs[r.id] = body(r)
-		}(ranks[i])
-	}
-	wg.Wait()
-	for _, err := range errs {
+	var cs *congestState
+	if cfg.Congestion && cfg.Nodes > 1 {
+		sol, err := recordAndSolve(cfg, body)
 		if err != nil {
 			return Report{}, err
 		}
+		cs = &congestState{sol: sol}
+	}
+	ranks, err := runRanks(cfg, body, cs)
+	if err != nil {
+		return Report{}, err
 	}
 
 	rep := Report{Ranks: make([]RankResult, cfg.Procs)}
+	if cs != nil {
+		rep.Links = cs.sol.Links
+	}
 	var busySum, waitSum float64
 	for i, r := range ranks {
 		r.closeRegions()
@@ -701,10 +725,50 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 		for _, e := range tl {
 			cfg.Sink.Record(e)
 		}
+		emitLinkEvents(cfg.Sink, rep.Links)
 		cfg.Sink.Record(Event{
 			Kind: EvJobEnd, Rank: -1, Node: -1, Peer: -1, Name: label,
 			Start: vclock.Time(rep.Makespan), Duration: rep.Makespan,
 		})
 	}
 	return rep, nil
+}
+
+// runRanks spawns one goroutine per rank, runs body on each, joins them,
+// and returns the ranks with their final clocks and logs. cs selects the
+// congestion-replay mode (nil = contention-free pricing).
+func runRanks(cfg JobConfig, body func(*Rank) error, cs *congestState) ([]*Rank, error) {
+	j := &job{cfg: cfg, congest: cs, splitSeq: map[int]int{}}
+	ranks := make([]*Rank, cfg.Procs)
+	for i := range ranks {
+		ranks[i] = &Rank{
+			id:    i,
+			size:  cfg.Procs,
+			node:  cfg.NodeOf(i),
+			clock: vclock.NewClock(),
+			model: cfg.RankModel(i),
+			job:   j,
+		}
+	}
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r.id] = fmt.Errorf("rank %d panicked: %v", r.id, p)
+				}
+			}()
+			errs[r.id] = body(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ranks, nil
 }

@@ -34,6 +34,14 @@ const (
 	// EvJobEnd marks the end of a job's event stream (Duration is the
 	// job makespan).
 	EvJobEnd
+	// EvLink summarises one interconnect link of a congestion-enabled
+	// job (Rank is -1; Name is the link, Bytes/Duration its traffic and
+	// busy time, Flows/PeakFlows its flow counts, Value its mean
+	// utilization). Emitted between the timeline and EvJobEnd.
+	EvLink
+	// EvLinkSample is one utilization bucket of a busy link's time
+	// series (Value is the bucket utilization in [0, 1]).
+	EvLinkSample
 )
 
 // String names the kind.
@@ -55,6 +63,10 @@ func (k EventKind) String() string {
 		return "job"
 	case EvJobEnd:
 		return "jobend"
+	case EvLink:
+		return "link"
+	case EvLinkSample:
+		return "linksample"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -84,9 +96,16 @@ type Event struct {
 	Bytes units.Bytes
 	// Flops is the metered floating-point work for EvCompute.
 	Flops units.Flops
-	// Name is the region name (EvRegionBegin/End) or job label
-	// (EvJobBegin/End).
+	// Name is the region name (EvRegionBegin/End), job label
+	// (EvJobBegin/End), or link name (EvLink/EvLinkSample).
 	Name string
+	// Flows and PeakFlows are the total and peak-concurrent flow counts
+	// of an EvLink event.
+	Flows     int64
+	PeakFlows int
+	// Value is the utilization in [0, 1] for EvLink (mean while busy)
+	// and EvLinkSample (one bucket).
+	Value float64
 }
 
 // Finish is the virtual time at which the event completed.
@@ -138,6 +157,11 @@ func WriteEvent(w io.Writer, e Event) (int, error) {
 		desc = e.Name
 	case EvJobEnd:
 		desc = fmt.Sprintf("%s makespan %v", e.Name, e.Duration)
+	case EvLink:
+		desc = fmt.Sprintf("%-22s busy %v util %3.0f%% flows %d peak %d %v",
+			e.Name, e.Duration, 100*e.Value, e.Flows, e.PeakFlows, e.Bytes)
+	case EvLinkSample:
+		desc = fmt.Sprintf("%-22s util %3.0f%%", e.Name, 100*e.Value)
 	}
 	return fmt.Fprintf(w, "%12.6fs rank %-4d %-8s %s\n",
 		e.Start.Seconds(), e.Rank, e.Kind, desc)

@@ -1,0 +1,66 @@
+package topo
+
+import "testing"
+
+// BenchmarkTorusHops exercises the pricing hot path: MeanHops and every
+// point-to-point price call Hops, so it must stay allocation-free and
+// division-free per call (see the coordinate table in table()).
+func BenchmarkTorusHops(b *testing.B) {
+	tor := NewTofuD(158976) // Fugaku-scale
+	n := tor.MaxNodes()
+	tor.Hops(0, 1) // build the table outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += tor.Hops(i%n, (i*7919)%n)
+	}
+	_ = sum
+}
+
+// BenchmarkTorusRouteAppend measures the contention engine's per-flow
+// route expansion with a reused buffer.
+func BenchmarkTorusRouteAppend(b *testing.B) {
+	tor := NewTofuD(1024)
+	n := tor.MaxNodes()
+	buf := tor.RouteAppend(nil, 0, n-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tor.RouteAppend(buf[:0], i%n, (i*7919)%n)
+	}
+}
+
+// BenchmarkDragonflyRouteAppend and BenchmarkFatTreeRouteAppend keep the
+// other families' routing costs visible in CI.
+func BenchmarkDragonflyRouteAppend(b *testing.B) {
+	d := NewAries()
+	buf := d.RouteAppend(nil, 0, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = d.RouteAppend(buf[:0], i%2048, (i*7919)%2048)
+	}
+}
+
+func BenchmarkFatTreeRouteAppend(b *testing.B) {
+	f := &FatTree{NodesPerLeaf: 36, Uplinks: 18}
+	buf := f.RouteAppend(nil, 0, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.RouteAppend(buf[:0], i%1024, (i*7919)%1024)
+	}
+}
+
+// BenchmarkMeanHopsTofuD covers the collective-pricing path that
+// motivated the coordinate table (it hits Hops ~65k times per call).
+func BenchmarkMeanHopsTofuD(b *testing.B) {
+	tor := NewTofuD(158976)
+	tor.Hops(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MeanHops(tor, 158976)
+	}
+}

@@ -1,0 +1,208 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Level classifies where in the fabric a Link sits. Levels let a
+// contention model assign capacities (injection vs. switch links) and
+// make link names readable without knowing the topology type.
+type Level int32
+
+// Link levels. LevelDim0 and above are per-dimension torus links:
+// dimension d of a Torus uses LevelDim0 + d.
+const (
+	// LevelHostUp is the node→fabric injection port of the source node.
+	LevelHostUp Level = iota
+	// LevelHostDown is the fabric→node ejection port of the destination.
+	LevelHostDown
+	// LevelLocal is an intra-group router-to-router link (dragonfly).
+	LevelLocal
+	// LevelGlobal is an inter-group link (dragonfly).
+	LevelGlobal
+	// LevelUp is a leaf→core uplink (fat tree).
+	LevelUp
+	// LevelDown is a core→leaf downlink (fat tree).
+	LevelDown
+	// LevelDim0 is the first torus dimension; dimension d is LevelDim0+d.
+	LevelDim0
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelHostUp:
+		return "inj"
+	case LevelHostDown:
+		return "eject"
+	case LevelLocal:
+		return "local"
+	case LevelGlobal:
+		return "global"
+	case LevelUp:
+		return "up"
+	case LevelDown:
+		return "down"
+	}
+	if l >= LevelDim0 {
+		return "dim" + strconv.Itoa(int(l-LevelDim0))
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// Link is one directed link of a fabric: an edge a minimally-routed
+// message traverses. From/To are level-specific endpoint indices (node,
+// router, switch or group ids); negative ids name aggregate gateway
+// ports (see Dragonfly.RouteAppend). Equal Links are the same physical
+// resource, so concurrent flows holding the same Link value contend.
+type Link struct {
+	Level    Level
+	From, To int32
+}
+
+// String renders the link as "level from→to".
+func (l Link) String() string {
+	return l.Level.String() + " " + linkEnd(l.From) + "→" + linkEnd(l.To)
+}
+
+// linkEnd formats an endpoint id; negative ids are gateway ports.
+func linkEnd(v int32) string {
+	if v < 0 {
+		return "gw" + strconv.Itoa(int(^v))
+	}
+	return strconv.Itoa(int(v))
+}
+
+// RouteAppender is the allocation-free variant of Topology.Route:
+// implementations append the route onto dst and return it, so hot loops
+// can reuse one backing array. All topologies in this package implement
+// it.
+type RouteAppender interface {
+	RouteAppend(dst []Link, a, b int) []Link
+}
+
+// RouteAppend appends t's route from a to b onto dst, using the
+// topology's RouteAppender fast path when it has one.
+func RouteAppend(t Topology, dst []Link, a, b int) []Link {
+	if ra, ok := t.(RouteAppender); ok {
+		return ra.RouteAppend(dst, a, b)
+	}
+	return append(dst, t.Route(a, b)...)
+}
+
+// Route implements Topology using dimension-order routing: the message
+// corrects one coordinate at a time, in dimension order, taking the
+// shorter way around each ring (ties go the +1 direction). Every hop is
+// one torus link at level LevelDim0+d, so len(Route(a,b)) == Hops(a,b).
+func (t *Torus) Route(a, b int) []Link {
+	return t.RouteAppend(nil, a, b)
+}
+
+// RouteAppend implements RouteAppender.
+func (t *Torus) RouteAppend(dst []Link, a, b int) []Link {
+	if a == b {
+		return dst
+	}
+	tt := t.table()
+	a, b = a%tt.n, b%tt.n
+	if a == b {
+		return dst
+	}
+	k := tt.k
+	cb := tt.coords[b*k : b*k+k]
+	cur := a
+	for d := 0; d < k; d++ {
+		dim := t.Dims[d]
+		if dim < 2 {
+			continue
+		}
+		cd, target := int(tt.coords[cur*k+d]), int(cb[d])
+		for cd != target {
+			fwd := target - cd
+			if fwd < 0 {
+				fwd += dim
+			}
+			step := 1
+			if 2*fwd > dim {
+				step = -1
+			}
+			nc := cd + step
+			if nc == dim {
+				nc = 0
+			} else if nc < 0 {
+				nc = dim - 1
+			}
+			next := cur + (nc-cd)*tt.stride[d]
+			dst = append(dst, Link{Level: LevelDim0 + Level(d), From: int32(cur), To: int32(next)})
+			cur, cd = next, nc
+		}
+	}
+	return dst
+}
+
+// Route implements Topology with minimal dragonfly routing. Links are:
+// injection/ejection host ports, local (intra-group router-to-router)
+// links, and global (group-to-group) links. A router's local link
+// toward another group's global port is named with the negative gateway
+// id ^gb, so every cross-group route is exactly the 5 links Hops
+// reports: inj, local→gateway, global, gateway→router, eject.
+func (d *Dragonfly) Route(a, b int) []Link {
+	return d.RouteAppend(nil, a, b)
+}
+
+// RouteAppend implements RouteAppender.
+func (d *Dragonfly) RouteAppend(dst []Link, a, b int) []Link {
+	if a == b {
+		return dst
+	}
+	ra, rb := int32(a/d.NodesPerRouter), int32(b/d.NodesPerRouter)
+	dst = append(dst, Link{Level: LevelHostUp, From: int32(a), To: ra})
+	if ra != rb {
+		ga, gb := ra/int32(d.RoutersPerGroup), rb/int32(d.RoutersPerGroup)
+		if ga == gb {
+			dst = append(dst, Link{Level: LevelLocal, From: ra, To: rb})
+		} else {
+			dst = append(dst,
+				Link{Level: LevelLocal, From: ra, To: ^gb},
+				Link{Level: LevelGlobal, From: ga, To: gb},
+				Link{Level: LevelLocal, From: ^ga, To: rb},
+			)
+		}
+	}
+	return append(dst, Link{Level: LevelHostDown, From: rb, To: int32(b)})
+}
+
+// Route implements Topology with up-down fat-tree routing: up to a core
+// switch chosen statically by the destination (dst mod the leaf's
+// uplink count), then down to the destination leaf. Same-leaf pairs
+// never leave the leaf switch, matching the 2-hop distance Hops
+// reports; cross-leaf pairs use exactly 4 links.
+func (f *FatTree) Route(a, b int) []Link {
+	return f.RouteAppend(nil, a, b)
+}
+
+// RouteAppend implements RouteAppender.
+func (f *FatTree) RouteAppend(dst []Link, a, b int) []Link {
+	if a == b {
+		return dst
+	}
+	npl := f.NodesPerLeaf
+	if npl < 1 {
+		npl = 1
+	}
+	la, lb := int32(a/npl), int32(b/npl)
+	dst = append(dst, Link{Level: LevelHostUp, From: int32(a), To: la})
+	if la != lb {
+		up := f.Uplinks
+		if up < 1 {
+			up = npl
+		}
+		core := int32(b % up)
+		dst = append(dst,
+			Link{Level: LevelUp, From: la, To: core},
+			Link{Level: LevelDown, From: core, To: lb},
+		)
+	}
+	return append(dst, Link{Level: LevelHostDown, From: lb, To: int32(b)})
+}

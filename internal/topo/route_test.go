@@ -1,0 +1,192 @@
+package topo
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// routeTopos is the property-test corpus: every topology family, both
+// small (exhaustively checkable) and production-shaped.
+func routeTopos() []struct {
+	name string
+	t    Topology
+	n    int
+} {
+	return []struct {
+		name string
+		t    Topology
+		n    int
+	}{
+		{"torus-3x4x2", &Torus{Dims: []int{3, 4, 2}}, 24},
+		{"torus-1dims", &Torus{Dims: []int{1, 5, 1, 2}}, 10},
+		{"tofud-48", NewTofuD(48), NewTofuD(48).MaxNodes()},
+		{"dragonfly-small", &Dragonfly{NodesPerRouter: 2, RoutersPerGroup: 3}, 36},
+		{"aries", NewAries(), 800},
+		{"fattree", &FatTree{NodesPerLeaf: 8}, 64},
+		{"fattree-oversub", &FatTree{NodesPerLeaf: 8, Uplinks: 2}, 64},
+	}
+}
+
+// TestRouteMatchesHops checks the core route invariants over every pair:
+// Route(a,a) is empty, len(Route(a,b)) == Hops(a,b), and the route's
+// endpoints are a and b.
+func TestRouteMatchesHops(t *testing.T) {
+	t.Parallel()
+	for _, tc := range routeTopos() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for a := 0; a < tc.n; a++ {
+				for b := 0; b < tc.n; b++ {
+					route := tc.t.Route(a, b)
+					if a == b {
+						if len(route) != 0 {
+							t.Fatalf("Route(%d,%d) = %v, want empty", a, b, route)
+						}
+						continue
+					}
+					if got, want := len(route), tc.t.Hops(a, b); got != want {
+						t.Fatalf("len(Route(%d,%d)) = %d, Hops = %d (%v)", a, b, got, want, route)
+					}
+					checkEndpoints(t, tc.t, a, b, route)
+				}
+			}
+		})
+	}
+}
+
+// checkEndpoints verifies a route starts at a and ends at b. Tori route
+// node-to-node (every link joins node indices, consecutive links chain);
+// the other topologies bracket the path with injection/ejection links.
+func checkEndpoints(t *testing.T, topoImpl Topology, a, b int, route []Link) {
+	t.Helper()
+	first, last := route[0], route[len(route)-1]
+	if _, isTorus := topoImpl.(*Torus); isTorus {
+		if first.From != int32(a) || last.To != int32(b) {
+			t.Fatalf("torus Route(%d,%d) endpoints wrong: %v", a, b, route)
+		}
+		for i := 1; i < len(route); i++ {
+			if route[i].From != route[i-1].To {
+				t.Fatalf("torus Route(%d,%d) does not chain at %d: %v", a, b, i, route)
+			}
+		}
+		return
+	}
+	if first.Level != LevelHostUp || first.From != int32(a) {
+		t.Fatalf("Route(%d,%d) must start with the source injection link: %v", a, b, route)
+	}
+	if last.Level != LevelHostDown || last.To != int32(b) {
+		t.Fatalf("Route(%d,%d) must end with the destination ejection link: %v", a, b, route)
+	}
+}
+
+// TestRouteSymmetryProperties quick-checks metric symmetry, the triangle
+// inequality and route-length consistency on randomized pairs — the same
+// invariants as the exhaustive test, but over the larger index spaces.
+func TestRouteSymmetryProperties(t *testing.T) {
+	t.Parallel()
+	for _, tc := range routeTopos() {
+		tc := tc
+		f := func(aRaw, bRaw, cRaw uint16) bool {
+			a, b, c := int(aRaw)%tc.n, int(bRaw)%tc.n, int(cRaw)%tc.n
+			if tc.t.Hops(a, b) != tc.t.Hops(b, a) {
+				return false
+			}
+			if tc.t.Hops(a, c) > tc.t.Hops(a, b)+tc.t.Hops(b, c) {
+				return false
+			}
+			return len(tc.t.Route(a, b)) == tc.t.Hops(a, b) &&
+				len(tc.t.Route(b, a)) == tc.t.Hops(a, b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s route properties: %v", tc.name, err)
+		}
+	}
+}
+
+// TestRouteDeterministicAcrossGOMAXPROCS recomputes every route under
+// different GOMAXPROCS settings, from many goroutines, on fresh topology
+// instances (so the lazy torus table is rebuilt under contention) and
+// requires bit-identical results. Routing feeds the contention solver,
+// which must be schedule-independent.
+func TestRouteDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	routesOf := func(mk func() Topology, n int) [][]Link {
+		tp := mk()
+		out := make([][]Link, 0, n*n)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		results := make([][][]Link, 8)
+		for w := 0; w < 8; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var rs [][]Link
+				for a := w; a < n; a += 8 {
+					for b := 0; b < n; b++ {
+						rs = append(rs, tp.Route(a, b))
+					}
+				}
+				mu.Lock()
+				results[w] = rs
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		for _, rs := range results {
+			out = append(out, rs...)
+		}
+		return out
+	}
+	mks := []struct {
+		name string
+		mk   func() Topology
+		n    int
+	}{
+		{"tofud", func() Topology { return NewTofuD(48) }, 48},
+		{"dragonfly", func() Topology { return &Dragonfly{NodesPerRouter: 2, RoutersPerGroup: 3} }, 30},
+		{"fattree", func() Topology { return &FatTree{NodesPerLeaf: 8, Uplinks: 2} }, 40},
+	}
+	for _, m := range mks {
+		old := runtime.GOMAXPROCS(1)
+		seq := routesOf(m.mk, m.n)
+		runtime.GOMAXPROCS(old)
+		par := routesOf(m.mk, m.n)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: routes differ between GOMAXPROCS=1 and %d", m.name, old)
+		}
+	}
+}
+
+// TestTorusHopsAllocFree is the regression guard for the pricing-path
+// fix: once the coordinate table exists, Hops must not allocate.
+func TestTorusHopsAllocFree(t *testing.T) {
+	tor := NewTofuD(48)
+	tor.Hops(0, 1) // build the table
+	n := tor.MaxNodes()
+	if allocs := testing.AllocsPerRun(100, func() {
+		for a := 0; a < n; a++ {
+			tor.Hops(a, n-1-a)
+		}
+	}); allocs != 0 {
+		t.Errorf("Torus.Hops allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestTorusRouteAppendAllocFree guards the hot routing path: with a
+// reusable buffer, RouteAppend must not allocate either.
+func TestTorusRouteAppendAllocFree(t *testing.T) {
+	tor := NewTofuD(48)
+	buf := tor.RouteAppend(nil, 0, tor.MaxNodes()-1) // warm table + buffer
+	n := tor.MaxNodes()
+	if allocs := testing.AllocsPerRun(100, func() {
+		for a := 0; a < n; a++ {
+			buf = tor.RouteAppend(buf[:0], a, n-1-a)
+		}
+	}); allocs != 0 {
+		t.Errorf("Torus.RouteAppend allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -3,24 +3,32 @@
 // fat-tree InfiniBand fabrics (Cirrus FDR, Fulhame EDR) and Intel OmniPath
 // (EPCC NGIO, also a fat tree).
 //
-// A topology answers one question for the cost model: how many switch/link
-// hops separate two nodes. The netmodel package turns hop counts into
-// latency. Topologies are deterministic functions of node indices so
-// simulations are reproducible.
+// A topology answers two questions for the cost model: how many
+// switch/link hops separate two nodes, and which concrete links a
+// minimally-routed message between them traverses. The netmodel package
+// turns hop counts into latency; the congestion package turns routes
+// into per-link contention. Topologies are deterministic functions of
+// node indices so simulations are reproducible.
 package topo
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
-// Topology reports hop distances between nodes of a machine.
+// Topology reports hop distances and minimal routes between nodes.
 type Topology interface {
 	// Name identifies the topology for diagnostics.
 	Name() string
 	// Hops returns the number of network hops (links traversed) between
 	// two node indices. Hops(a,a) is 0.
 	Hops(a, b int) int
+	// Route enumerates the directed links a minimally-routed message
+	// from a to b traverses, in traversal order. Route(a,a) is empty,
+	// and len(Route(a,b)) == Hops(a,b) — routes are the link-level
+	// expansion of the hop metric, never a different metric.
+	Route(a, b int) []Link
 	// MaxNodes is the largest node index the topology supports plus one;
 	// 0 means unbounded.
 	MaxNodes() int
@@ -34,6 +42,52 @@ type Torus struct {
 	Dims []int
 	// Label overrides the default name when non-empty.
 	Label string
+
+	// tab caches the coordinate/stride lookup table. Hops sits on the
+	// pricing hot path (every message and every MeanHops pair), so
+	// coordinates are decoded once and reused instead of re-dividing —
+	// and Hops stays allocation-free. Built lazily because tori are
+	// constructed with struct literals throughout the tree; the
+	// compare-and-swap keeps concurrent first calls race-free (both
+	// build the same table, one wins).
+	tab atomic.Pointer[torusTable]
+}
+
+// torusTable is the precomputed coordinate decomposition of a torus.
+type torusTable struct {
+	// coords holds the mixed-radix coordinates of every node,
+	// node-major: node i's coordinate in dimension d is coords[i*k+d].
+	coords []int32
+	// stride[d] is the node-index distance of one step in dimension d.
+	stride []int
+	// n and k are the node count and dimension count.
+	n, k int
+}
+
+// table returns (building on first use) the coordinate table.
+func (t *Torus) table() *torusTable {
+	if tt := t.tab.Load(); tt != nil {
+		return tt
+	}
+	n, k := 1, len(t.Dims)
+	for _, d := range t.Dims {
+		n *= d
+	}
+	tt := &torusTable{coords: make([]int32, n*k), stride: make([]int, k), n: n, k: k}
+	s := 1
+	for d := k - 1; d >= 0; d-- {
+		tt.stride[d] = s
+		s *= t.Dims[d]
+	}
+	for i := 0; i < n; i++ {
+		rem := i
+		for d := k - 1; d >= 0; d-- {
+			tt.coords[i*k+d] = int32(rem % t.Dims[d])
+			rem /= t.Dims[d]
+		}
+	}
+	t.tab.CompareAndSwap(nil, tt)
+	return t.tab.Load()
 }
 
 // NewTofuD builds a torus shaped like the Tofu Interconnect D unit
@@ -72,30 +126,24 @@ func (t *Torus) MaxNodes() int {
 	return n
 }
 
-// coords converts a node index to mixed-radix coordinates.
-func (t *Torus) coords(i int) []int {
-	c := make([]int, len(t.Dims))
-	for d := len(t.Dims) - 1; d >= 0; d-- {
-		c[d] = i % t.Dims[d]
-		i /= t.Dims[d]
-	}
-	return c
-}
-
-// Hops implements Topology using per-dimension ring distance.
+// Hops implements Topology using per-dimension ring distance. It is
+// allocation-free: coordinates come from the precomputed table (indices
+// wrap modulo the node count, matching the old mixed-radix decode).
 func (t *Torus) Hops(a, b int) int {
 	if a == b {
 		return 0
 	}
-	ca, cb := t.coords(a), t.coords(b)
+	tt := t.table()
+	a, b = a%tt.n, b%tt.n
+	k := tt.k
+	ca, cb := tt.coords[a*k:a*k+k], tt.coords[b*k:b*k+k]
 	total := 0
-	for d := range t.Dims {
-		diff := ca[d] - cb[d]
+	for d := 0; d < k; d++ {
+		diff := int(ca[d] - cb[d])
 		if diff < 0 {
 			diff = -diff
 		}
-		wrap := t.Dims[d] - diff
-		if wrap < diff {
+		if wrap := t.Dims[d] - diff; wrap < diff {
 			diff = wrap
 		}
 		total += diff
@@ -151,6 +199,12 @@ func (d *Dragonfly) Hops(a, b int) int {
 type FatTree struct {
 	// NodesPerLeaf is the number of nodes per leaf (edge) switch.
 	NodesPerLeaf int
+	// Uplinks is the number of core uplinks each leaf switch drives —
+	// the routing fan-out of Route. 0 means fully provisioned (one
+	// uplink per node port, non-blocking); fewer uplinks than nodes per
+	// leaf models an oversubscribed tree, which only matters to the
+	// contention engine: Hops (and thus latency) is unchanged.
+	Uplinks int
 	// Label names the fabric (e.g. "EDR fat-tree").
 	Label string
 }
