@@ -36,6 +36,7 @@ import (
 	"a64fxbench/internal/core"
 	"a64fxbench/internal/cosa"
 	"a64fxbench/internal/hpcg"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/minikab"
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
@@ -115,8 +116,9 @@ type Artifact = core.Artifact
 
 // Options tunes experiment execution: Quick for smoke runs, Trace to
 // stream every simulated job's event timeline into a TraceSink, Profile
-// to ask the sweep engine for an in-memory timeline. Observability
-// options never change artifact contents.
+// to ask the sweep engine for an in-memory timeline, Counters to meter
+// every simulated job with the virtual PMU. Observability options never
+// change artifact contents.
 type Options = core.Options
 
 // OptionsKey is the comparable projection of Options onto the fields
@@ -138,6 +140,41 @@ type Timeline = simmpi.Timeline
 // (Chrome export, communication matrices, critical paths — see
 // internal/obs through the a64fxbench trace command).
 type MemorySink = simmpi.MemorySink
+
+// Virtual PMU: every benchmark Config and Options carries an optional
+// *CounterConfig; a non-nil value makes each simulated rank meter named
+// counters (flops by kernel class, cache-level traffic, attributed
+// stall time, per-peer messages, collective time) and sample them in
+// virtual time. Counting never changes simulated results.
+type (
+	// CounterConfig enables and tunes the virtual PMU (sampling period,
+	// series length bound). The zero value means the defaults.
+	CounterConfig = metrics.Config
+	// JobCounters is a counted job's full PMU state: per-rank finals,
+	// sampled series and per-peer traffic (simmpi.Report.Counters).
+	JobCounters = metrics.JobCounters
+	// CounterSnapshot is the regression sentinel's unit: a canonical,
+	// diffable set of named metrics from one run (see the a64fxbench
+	// counters and diff commands).
+	CounterSnapshot = metrics.Snapshot
+	// CounterDiffOptions sets the sentinel's per-kind tolerance rules.
+	CounterDiffOptions = metrics.DiffOptions
+	// CounterDiffResult reports a snapshot comparison; Failed gates.
+	CounterDiffResult = metrics.DiffResult
+)
+
+// DiffCounterSnapshots compares two snapshots under the tolerance
+// rules: Time metrics may grow by TimeTol, Rate metrics may drop by
+// RateTol, Work metrics must match within WorkTol (default exactly).
+func DiffCounterSnapshots(old, new *CounterSnapshot, opt CounterDiffOptions) *CounterDiffResult {
+	return metrics.Diff(old, new, opt)
+}
+
+// LoadCounterSnapshot reads a snapshot written by Snapshot.WriteJSON
+// (the a64fxbench counters -format=json output).
+func LoadCounterSnapshot(path string) (*CounterSnapshot, error) {
+	return metrics.LoadSnapshot(path)
+}
 
 // Experiments lists every table and figure of the paper's evaluation in
 // order.

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/metrics"
+)
+
+// writeSnap writes a minimal valid snapshot file for the diff tests.
+func writeSnap(t *testing.T, path string, makespan, gflops float64) {
+	t.Helper()
+	s := metrics.NewSnapshot(map[string]string{"suite": "test"})
+	s.Add("table3/000 hpcg/makespan.ns", makespan, metrics.Time, "ns")
+	s.Add("table3/000 hpcg/ctr/flops.spmv", 5e8, metrics.Work, "flops")
+	s.Add("table3/000 hpcg/rate/gflops", gflops, metrics.Rate, "gflop/s")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffCmd pins the sentinel's exit behaviour: self-diff passes, an
+// injected slowdown beyond tolerance fails with the regression named,
+// and a within-tolerance drift passes.
+func TestDiffCmd(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	samedPath := filepath.Join(dir, "same.json")
+	slowPath := filepath.Join(dir, "slow.json")
+	closePath := filepath.Join(dir, "close.json")
+	writeSnap(t, oldPath, 1e9, 2.0)
+	writeSnap(t, samedPath, 1e9, 2.0)
+	writeSnap(t, slowPath, 1.05e9, 2.0)
+	writeSnap(t, closePath, 1.005e9, 2.0)
+
+	cfg := sweepConfig{tol: 0.01}
+	var out bytes.Buffer
+	if err := diffCmd(&out, oldPath, samedPath, cfg); err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := diffCmd(&out, oldPath, slowPath, cfg)
+	if err == nil {
+		t.Fatalf("5%% slowdown at 1%% tolerance must fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "makespan.ns") {
+		t.Errorf("report does not name the regression:\n%s", out.String())
+	}
+	out.Reset()
+	if err := diffCmd(&out, oldPath, closePath, cfg); err != nil {
+		t.Fatalf("0.5%% drift at 1%% tolerance must pass: %v", err)
+	}
+	if err := diffCmd(&out, oldPath, filepath.Join(dir, "missing.json"), cfg); err == nil {
+		t.Fatal("missing snapshot file must error")
+	}
+}
+
+// TestCountersCmdFormats smoke-tests the counters command surface on a
+// single quick experiment across all three formats.
+func TestCountersCmdFormats(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	ctx := rootContext()
+	jsonPath := filepath.Join(dir, "snap.json")
+	if err := countersCmd(ctx, []string{"table5"},
+		sweepConfig{quick: true, jobs: 2, format: "json", out: jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.LoadSnapshot(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) == 0 {
+		t.Fatal("snapshot has no entries")
+	}
+	textPath := filepath.Join(dir, "out.txt")
+	if err := countersCmd(ctx, []string{"table5"},
+		sweepConfig{quick: true, jobs: 2, format: "text", out: textPath}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "derived:") {
+		t.Errorf("text report missing derived rates:\n%s", text)
+	}
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := countersCmd(ctx, []string{"table5"},
+		sweepConfig{quick: true, jobs: 2, format: "csv", out: csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	csvOut, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvOut), "job,label,at_ns,counter,value") {
+		t.Errorf("csv missing header:\n%.100s", csvOut)
+	}
+	if err := countersCmd(ctx, []string{"table5"},
+		sweepConfig{quick: true, format: "bogus"}); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
 	"a64fxbench/internal/core"
 	"a64fxbench/internal/obs"
@@ -19,18 +18,9 @@ import (
 // report. -o redirects to a file. Experiments whose jobs are all
 // single-node produce no contended links and say so.
 func linksCmd(ctx context.Context, id string, cfg sweepConfig) error {
-	if cfg.out == "" {
-		return writeLinks(ctx, os.Stdout, id, cfg)
-	}
-	f, err := os.Create(cfg.out)
-	if err != nil {
-		return err
-	}
-	if err := writeLinks(ctx, f, id, cfg); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return withOutput(cfg, func(w io.Writer) error {
+		return writeLinks(ctx, w, id, cfg)
+	})
 }
 
 // linkReport pairs one job's identity with its heatmap for JSON output.

@@ -9,6 +9,8 @@
 //	a64fxbench run <id> [...]       run experiments (e.g. table3 fig4)
 //	a64fxbench all                  run everything in paper order
 //	a64fxbench trace <id>           export one experiment's event trace
+//	a64fxbench counters [id ...]    run with the virtual PMU, export counters
+//	a64fxbench diff <old> <new>     compare counter snapshots (regression gate)
 //
 // Flags:
 //
@@ -134,6 +136,21 @@ var commands = []command{
 		},
 	},
 	cmdFunc{
+		name: "counters", synopsis: "counters [id ...]",
+		describe: "run experiments with the virtual PMU and export counters (-format, -o, -period)",
+		run: func(ctx context.Context, cfg sweepConfig, args []string) error {
+			return countersCmd(ctx, args, cfg)
+		},
+	},
+	cmdFunc{
+		name: "diff", synopsis: "diff <old.json> <new.json>",
+		describe: "compare two counter snapshots; non-zero exit on regression (-tol)",
+		minArgs:  2,
+		run: func(_ context.Context, cfg sweepConfig, args []string) error {
+			return diffCmd(os.Stdout, args[0], args[1], cfg)
+		},
+	},
+	cmdFunc{
 		name: "micro", synopsis: "micro [system]",
 		describe: "model-validation microbenchmarks",
 		run: func(_ context.Context, _ sweepConfig, args []string) error {
@@ -179,7 +196,9 @@ func main() {
 	failFast := flag.Bool("failfast", false, "cancel remaining experiments after the first failure")
 	profile := flag.Bool("profile", false, "print per-job observability summaries after each artifact")
 	congestion := flag.Bool("congestion", false, "price multi-node communication through the routed contention model")
-	outFile := flag.String("o", "", "write trace output to FILE instead of stdout")
+	outFile := flag.String("o", "", "write trace/links/counters output to FILE instead of stdout")
+	period := flag.Duration("period", 0, "counters: virtual-time sampling period (0 = default 100µs)")
+	tol := flag.Float64("tol", 0.01, "diff: relative tolerance for time and rate metrics")
 	flag.Usage = usage
 	// Interleaved parsing: each Parse stops at the first non-flag token,
 	// so collect positionals one at a time and re-parse the remainder.
@@ -210,6 +229,7 @@ func main() {
 		quick: *quick, compare: *compare, format: *format,
 		jobs: *jobs, failFast: *failFast,
 		profile: *profile, congestion: *congestion, out: *outFile,
+		period: *period, tol: *tol,
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
@@ -236,7 +256,10 @@ flags (accepted before or after the command):
   -compare   show paper-vs-measured deltas beside each value
   -format    run/all/ext: text (default), chart, json or csv
              trace: text (default), chrome (Perfetto) or json (analysis report)
-  -o FILE    trace: write output to FILE instead of stdout
+             counters: text (default), json (canonical snapshot) or csv (series)
+  -o FILE    trace/links/counters: write output to FILE instead of stdout
+  -period D  counters: virtual-time sampling period (0 = default 100µs)
+  -tol F     diff: relative tolerance for time and rate metrics (default 0.01)
   -profile   run/all/ext: print per-job observability summaries
   -congestion  price multi-node communication through the routed contention model
   -j N       run up to N experiments concurrently (0 = GOMAXPROCS)

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+	"os"
+)
+
+// withOutput runs fn against the -o file (created fresh) or stdout when
+// no file was given. The file is closed after fn; a write error wins
+// over the close error. Every exporting command (trace, links,
+// counters) funnels through this one helper.
+func withOutput(cfg sweepConfig, fn func(w io.Writer) error) error {
+	if cfg.out == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

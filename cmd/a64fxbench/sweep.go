@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"a64fxbench"
 	"a64fxbench/internal/sweep"
@@ -22,8 +23,14 @@ type sweepConfig struct {
 	// congestion prices multi-node communication through the routed
 	// contention model (core.Options.Congestion).
 	congestion bool
-	// out is the trace command's output file ("" = stdout).
+	// out is the exporting commands' output file ("" = stdout).
 	out string
+	// period is the counters command's virtual-time sampling period
+	// (0 = the metrics default).
+	period time.Duration
+	// tol is the diff command's relative tolerance for Time and Rate
+	// metrics.
+	tol float64
 }
 
 // runSweep executes the requested experiments on the concurrent sweep

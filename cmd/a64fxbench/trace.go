@@ -5,14 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
-	"a64fxbench/internal/arch"
 	"a64fxbench/internal/core"
 	"a64fxbench/internal/obs"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/sweep"
-	"a64fxbench/internal/units"
 )
 
 // traceExperiment runs one experiment with tracing enabled and exports
@@ -21,18 +18,9 @@ import (
 // -format=json writes the full analysis report (communication matrix,
 // roofline, critical path) per simulated job. -o redirects to a file.
 func traceExperiment(ctx context.Context, id string, cfg sweepConfig) error {
-	if cfg.out == "" {
-		return writeTrace(ctx, os.Stdout, id, cfg)
-	}
-	f, err := os.Create(cfg.out)
-	if err != nil {
-		return err
-	}
-	if err := writeTrace(ctx, f, id, cfg); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return withOutput(cfg, func(w io.Writer) error {
+		return writeTrace(ctx, w, id, cfg)
+	})
 }
 
 // writeTrace executes the traced run on the sweep engine and renders to w.
@@ -63,7 +51,7 @@ func writeTrace(ctx context.Context, w io.Writer, id string, cfg sweepConfig) er
 	}
 	reports := make([]*obs.Report, 0, len(jobs))
 	for _, jt := range jobs {
-		rep, err := obs.Analyze(jt, a64fxPeaks(jt))
+		rep, err := obs.Analyze(jt, obs.A64FXPeaks(jt))
 		if err != nil {
 			return err
 		}
@@ -72,23 +60,6 @@ func writeTrace(ctx context.Context, w io.Writer, id string, cfg sweepConfig) er
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reports)
-}
-
-// a64fxPeaks derives per-rank roofline peaks from the A64FX node model
-// and the job's observed rank placement. Experiments may run other
-// systems too; the A64FX — the paper's subject — is the fixed yardstick.
-func a64fxPeaks(jt obs.JobTrace) obs.Peaks {
-	sys := arch.MustGet(arch.A64FX)
-	rpn := 1
-	if n := jt.NumNodes(); n > 0 {
-		if r := (jt.NumRanks() + n - 1) / n; r > 0 {
-			rpn = r
-		}
-	}
-	return obs.Peaks{
-		FlopRate:  sys.Node.PeakFlops / units.FlopRate(rpn),
-		Bandwidth: sys.Node.PeakBandwidth() / units.ByteRate(rpn),
-	}
 }
 
 // writeProfileSummary prints a compact observability digest of every
@@ -100,7 +71,7 @@ func writeProfileSummary(w io.Writer, id string, tl simmpi.Timeline) error {
 		return err
 	}
 	for _, jt := range jobs {
-		rep, err := obs.Analyze(jt, a64fxPeaks(jt))
+		rep, err := obs.Analyze(jt, obs.A64FXPeaks(jt))
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/fft"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -53,6 +54,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Counters enables the virtual PMU for every simulated job (see
+	// simmpi.JobConfig.Counters); nil disables it.
+	Counters *metrics.Config
 }
 
 // Result is the outcome of a metered run.
@@ -147,6 +151,7 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Sink:           cfg.Trace,
+		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("castep %s c=%d", sys.ID, procs),
 	}
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/simmpi"
 )
 
@@ -38,7 +39,7 @@ type Experiment struct {
 
 // Options tunes an experiment execution. Only fields covered by
 // ArtifactKey may change the produced artifact; observability fields
-// (Trace, Profile) must be result-neutral.
+// (Trace, Profile, Counters) must be result-neutral.
 type Options struct {
 	// Quick reduces simulated iteration counts for fast smoke runs;
 	// rates and shapes are unchanged (the simulation is steady-state).
@@ -56,6 +57,12 @@ type Options struct {
 	// in-memory timeline for post-run analysis even when Trace is nil.
 	// Like Trace, it never changes artifact contents.
 	Profile bool
+	// Counters enables the virtual PMU for every simulated job the
+	// experiment runs (see simmpi.JobConfig.Counters). Like Trace and
+	// Profile it is an observability field: it never changes artifact
+	// contents (phase times are evaluated through the same model terms)
+	// and is excluded from the cache/digest key.
+	Counters *metrics.Config
 }
 
 // OptionsKey is the comparable projection of Options onto the fields

@@ -5,6 +5,7 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -55,6 +56,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Counters enables the virtual PMU for every simulated job (see
+	// simmpi.JobConfig.Counters); nil disables it.
+	Counters *metrics.Config
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
@@ -137,6 +141,7 @@ func Run(cfg Config) (Result, error) {
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
 		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
+		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("cosa %s n=%d", sys.ID, cfg.Nodes),
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/sparse"
@@ -33,6 +34,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Counters enables the virtual PMU for every simulated job (see
+	// simmpi.JobConfig.Counters); nil disables it.
+	Counters *metrics.Config
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
@@ -193,6 +197,7 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
+		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("hpcg %s n=%d %dx%dx%d", sys.ID, cfg.Nodes, cfg.NX, cfg.NY, cfg.NZ),
 	}
 

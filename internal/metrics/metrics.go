@@ -1,0 +1,473 @@
+// Package metrics is the simulator's virtual performance-monitoring
+// unit (PMU): a fixed registry of named hardware-style counters and a
+// per-rank accumulator that samples them in virtual time.
+//
+// Real investigations of the A64FX read memory-boundedness, vector
+// quality and network share off hardware counters (LIKWID/ECM-style
+// groups); the simulator has the same information available exactly —
+// every metered WorkProfile and every message carries its operation
+// counts — so the virtual PMU exposes it under stable counter names:
+// flops by kernel class, effective L1/L2/DRAM traffic, model-attributed
+// stall time (compute / memory / per-call overhead / network / noise),
+// point-to-point traffic, and collective time by algorithm.
+//
+// Everything here is driven by the ranks' virtual clocks and program
+// order, never by wall time or goroutine scheduling, so counter values
+// and sampled series are bit-deterministic for a given job — the same
+// property the trace and golden-artifact layers already guarantee.
+package metrics
+
+import (
+	"fmt"
+
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+)
+
+// Kind classifies a counter for regression-diff direction rules.
+type Kind int
+
+// Counter kinds.
+const (
+	// Work counters are operation/traffic counts (flops, bytes,
+	// messages). They derive from the benchmarks' real arithmetic, so a
+	// change is a behavioural change, regardless of direction.
+	Work Kind = iota
+	// Time counters accumulate virtual time; more is worse.
+	Time
+	// Rate counters are derived throughputs (snapshot-only; the PMU
+	// itself never accumulates rates); less is worse.
+	Rate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Work:
+		return "work"
+	case Time:
+		return "time"
+	case Rate:
+		return "rate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON renders the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"work"`:
+		*k = Work
+	case `"time"`:
+		*k = Time
+	case `"rate"`:
+		*k = Rate
+	default:
+		return fmt.Errorf("metrics: unknown counter kind %s", b)
+	}
+	return nil
+}
+
+// ID indexes a counter in the registry (and in every value vector).
+type ID int
+
+// Def describes one registered counter.
+type Def struct {
+	// Name is the stable dotted counter name, e.g. "flops.spmv" or
+	// "stall.mem.ns".
+	Name string
+	// Unit is the counter's unit ("flops", "bytes", "ns", "msgs").
+	Unit string
+	// Kind drives the regression-diff direction rule.
+	Kind Kind
+	// Desc is a one-line human description.
+	Desc string
+}
+
+// Collective identifies one collective algorithm for time attribution.
+type Collective int
+
+// Collectives instrumented by the runtime.
+const (
+	CollBarrier Collective = iota
+	CollAllreduce
+	CollBcast
+	CollReduce
+	CollAllgather
+	CollAlltoall
+	CollReduceScatter
+	CollExScan
+	numCollectives
+)
+
+// String names the collective.
+func (c Collective) String() string {
+	switch c {
+	case CollBarrier:
+		return "barrier"
+	case CollAllreduce:
+		return "allreduce"
+	case CollBcast:
+		return "bcast"
+	case CollReduce:
+		return "reduce"
+	case CollAllgather:
+		return "allgather"
+	case CollAlltoall:
+		return "alltoall"
+	case CollReduceScatter:
+		return "reduce-scatter"
+	case CollExScan:
+		return "exscan"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
+	}
+}
+
+// NumCollectives reports how many collective algorithms are
+// instrumented (Collective values range over [0, NumCollectives())).
+func NumCollectives() Collective { return numCollectives }
+
+// The registry. Built once at init in a fixed order, so IDs, names and
+// value-vector layouts are identical in every process.
+var (
+	defs   []Def
+	byName = map[string]ID{}
+
+	flopsByClass []ID
+	collByOp     []ID
+
+	// Effective memory traffic by hierarchy level. DRAM bytes are the
+	// metered WorkProfile bytes; L1/L2 are the cost model's per-class
+	// amplification estimates (perfmodel.CacheAmplification).
+	MemL1   ID
+	MemL2   ID
+	MemDRAM ID
+
+	// TimeFlops is the roofline flop term of compute phases; StallMem
+	// the excess of the memory term over it (zero for compute-bound
+	// phases); StallCall the per-invocation overhead term. The three sum
+	// to the phase time exactly.
+	TimeFlops ID
+	StallMem  ID
+	StallCall ID
+	// StallNet is receive-side blocked time, StallNoise injected OS
+	// noise, NetInject the sender-CPU injection overhead, TimeOther
+	// fixed Elapse() advances (setup, modelled I/O).
+	StallNet   ID
+	StallNoise ID
+	NetInject  ID
+	TimeOther  ID
+
+	// Point-to-point traffic (collective internals included).
+	SentMsgs  ID
+	SentBytes ID
+	RecvMsgs  ID
+	RecvBytes ID
+)
+
+func register(name, unit string, kind Kind, desc string) ID {
+	if _, dup := byName[name]; dup {
+		panic("metrics: duplicate counter " + name)
+	}
+	id := ID(len(defs))
+	defs = append(defs, Def{Name: name, Unit: unit, Kind: kind, Desc: desc})
+	byName[name] = id
+	return id
+}
+
+func init() {
+	classes := perfmodel.KernelClasses()
+	flopsByClass = make([]ID, len(classes))
+	for _, c := range classes {
+		flopsByClass[c] = register("flops."+c.String(), "flops", Work,
+			"double-precision operations retired by "+c.String()+" kernels")
+	}
+	MemDRAM = register("mem.dram.bytes", "bytes", Work, "effective main-memory (DRAM/HBM) traffic")
+	MemL2 = register("mem.l2.bytes", "bytes", Work, "modelled L2 traffic (per-class amplification of DRAM bytes)")
+	MemL1 = register("mem.l1.bytes", "bytes", Work, "modelled L1 traffic (per-class bytes-per-flop estimate)")
+	TimeFlops = register("time.flops.ns", "ns", Time, "roofline flop term of compute phases")
+	StallMem = register("stall.mem.ns", "ns", Time, "memory-bound excess over the flop term")
+	StallCall = register("stall.call.ns", "ns", Time, "per-kernel-invocation overhead")
+	StallNet = register("stall.net.ns", "ns", Time, "receive-side blocked time")
+	StallNoise = register("stall.noise.ns", "ns", Time, "injected OS-noise delay")
+	NetInject = register("net.inject.ns", "ns", Time, "sender-CPU message injection overhead")
+	TimeOther = register("time.other.ns", "ns", Time, "fixed Elapse() advances (setup, modelled I/O)")
+	SentMsgs = register("net.sent.msgs", "msgs", Work, "point-to-point messages sent")
+	SentBytes = register("net.sent.bytes", "bytes", Work, "point-to-point bytes sent")
+	RecvMsgs = register("net.recv.msgs", "msgs", Work, "point-to-point messages received")
+	RecvBytes = register("net.recv.bytes", "bytes", Work, "point-to-point bytes received")
+	collByOp = make([]ID, numCollectives)
+	for c := Collective(0); c < numCollectives; c++ {
+		collByOp[c] = register("coll."+c.String()+".ns", "ns", Time,
+			"virtual time inside "+c.String()+" collectives (outermost only)")
+	}
+}
+
+// NumCounters reports the registry size (the length of value vectors).
+func NumCounters() int { return len(defs) }
+
+// Counters returns a copy of the full registry in ID order.
+func Counters() []Def {
+	out := make([]Def, len(defs))
+	copy(out, defs)
+	return out
+}
+
+// Lookup resolves a counter name.
+func Lookup(name string) (ID, bool) {
+	id, ok := byName[name]
+	return id, ok
+}
+
+// Def returns the counter's definition.
+func (id ID) Def() Def { return defs[id] }
+
+// String returns the counter's name.
+func (id ID) String() string { return defs[id].Name }
+
+// FlopsFor returns the flop counter of a kernel class.
+func FlopsFor(c perfmodel.KernelClass) ID { return flopsByClass[c] }
+
+// CollTime returns the time counter of a collective algorithm.
+func CollTime(c Collective) ID { return collByOp[c] }
+
+// Config enables and tunes counter collection for a job.
+type Config struct {
+	// Period is the virtual-time sampling period of the per-rank series;
+	// ≤ 0 means the 100µs default. Samples land on multiples of the
+	// period of each rank's own virtual clock.
+	Period units.Duration
+	// MaxSamples bounds each rank's series: when a series would exceed
+	// it, the period doubles and existing samples are decimated onto the
+	// coarser grid (deterministically — the kept samples are exactly the
+	// even multiples). ≤ 0 means the default of 512; the bound keeps
+	// memory finite regardless of job length.
+	MaxSamples int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultPeriod     = 100 * units.Microsecond
+	DefaultMaxSamples = 512
+)
+
+// Sanitized resolves defaults: a zero Config means the default period
+// and sample bound.
+func (c Config) Sanitized() Config {
+	if c.Period <= 0 {
+		c.Period = DefaultPeriod
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = DefaultMaxSamples
+	}
+	return c
+}
+
+// Sample is one point of a sampled counter series: the cumulative
+// counter vector when the owning clock first reached (or passed) At.
+type Sample struct {
+	At     units.Duration `json:"at_ns"`
+	Values []float64      `json:"values"`
+}
+
+// PeerStat is one rank's traffic towards a single peer rank.
+type PeerStat struct {
+	Peer  int         `json:"peer"`
+	Msgs  int64       `json:"msgs"`
+	Bytes units.Bytes `json:"bytes"`
+}
+
+// RankPMU accumulates one rank's counters. The owning rank drives it
+// from its body goroutine; it is not safe for concurrent use — exactly
+// like the rank itself.
+type RankPMU struct {
+	vals       []float64
+	period     units.Duration
+	maxSamples int
+	next       units.Duration
+	samples    []Sample
+	peerMsgs   []int64
+	peerBytes  []units.Bytes
+}
+
+// NewRankPMU creates a PMU for one rank of a job with `ranks` ranks.
+func NewRankPMU(cfg Config, ranks int) *RankPMU {
+	cfg = cfg.Sanitized()
+	return &RankPMU{
+		vals:       make([]float64, len(defs)),
+		period:     cfg.Period,
+		maxSamples: cfg.MaxSamples,
+		next:       cfg.Period,
+		peerMsgs:   make([]int64, ranks),
+		peerBytes:  make([]units.Bytes, ranks),
+	}
+}
+
+// Add accumulates a counter delta.
+func (p *RankPMU) Add(id ID, v float64) { p.vals[id] += v }
+
+// AddTime accumulates a virtual-time delta in nanoseconds.
+func (p *RankPMU) AddTime(id ID, d units.Duration) { p.vals[id] += float64(d) }
+
+// AddPeer accumulates one sent message towards a peer rank.
+func (p *RankPMU) AddPeer(peer int, bytes units.Bytes) {
+	p.peerMsgs[peer]++
+	p.peerBytes[peer] += bytes
+}
+
+// Observe samples the counters at every period boundary the owning
+// clock has crossed since the previous call. Hooks call it after
+// applying an operation's deltas with the operation's completion time,
+// so a sample at k·Period holds the cumulative counters at the moment
+// the rank's clock first reached or passed that boundary.
+func (p *RankPMU) Observe(now units.Duration) {
+	for p.next <= now {
+		vals := make([]float64, len(p.vals))
+		copy(vals, p.vals)
+		p.samples = append(p.samples, Sample{At: p.next, Values: vals})
+		p.next += p.period
+		if len(p.samples) > p.maxSamples {
+			p.decimate()
+		}
+	}
+}
+
+// decimate doubles the period and keeps only samples on the coarser
+// grid. Purely a function of the sample times — deterministic.
+func (p *RankPMU) decimate() {
+	p.period *= 2
+	keep := p.samples[:0]
+	for _, s := range p.samples {
+		if s.At%p.period == 0 {
+			keep = append(keep, s)
+		}
+	}
+	// Drop the tail references so decimated samples can be collected.
+	for i := len(keep); i < len(p.samples); i++ {
+		p.samples[i] = Sample{}
+	}
+	p.samples = keep
+	if rem := p.next % p.period; rem != 0 {
+		p.next += p.period - rem
+	}
+}
+
+// Counters freezes the PMU into the rank's final accounting.
+func (p *RankPMU) Counters(rank int) RankCounters {
+	rc := RankCounters{
+		Rank:    rank,
+		Period:  p.period,
+		Values:  append([]float64(nil), p.vals...),
+		Samples: p.samples,
+	}
+	for peer := range p.peerMsgs {
+		if p.peerMsgs[peer] != 0 || p.peerBytes[peer] != 0 {
+			rc.Peers = append(rc.Peers, PeerStat{
+				Peer: peer, Msgs: p.peerMsgs[peer], Bytes: p.peerBytes[peer],
+			})
+		}
+	}
+	return rc
+}
+
+// RankCounters is one rank's final counter accounting: cumulative
+// values (indexed by ID), the sampled series, and per-peer traffic.
+type RankCounters struct {
+	Rank int `json:"rank"`
+	// Period is the rank's final sampling period (decimation may have
+	// coarsened it from the configured one).
+	Period units.Duration `json:"period_ns"`
+	// Values holds the final cumulative counters, indexed by ID.
+	Values []float64 `json:"values"`
+	// Samples is the virtual-time series, ascending in At.
+	Samples []Sample `json:"samples,omitempty"`
+	// Peers lists per-peer sent traffic, ascending in Peer.
+	Peers []PeerStat `json:"peers,omitempty"`
+}
+
+// Value returns one final counter value.
+func (rc *RankCounters) Value(id ID) float64 { return rc.Values[id] }
+
+// JobCounters aggregates every rank's counters for one job.
+type JobCounters struct {
+	Ranks []RankCounters `json:"ranks"`
+}
+
+// Totals sums the final counter vectors across ranks.
+func (jc *JobCounters) Totals() []float64 {
+	out := make([]float64, len(defs))
+	for _, rc := range jc.Ranks {
+		for i, v := range rc.Values {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Total sums one counter across ranks.
+func (jc *JobCounters) Total(id ID) float64 {
+	var v float64
+	for _, rc := range jc.Ranks {
+		v += rc.Values[id]
+	}
+	return v
+}
+
+// AggregateSeries merges the per-rank series into one job-wide series on
+// the coarsest period any rank settled on (every finer period divides
+// it, since decimation only ever doubles). Each point sums, over ranks,
+// the rank's cumulative counters at that time — the final values once a
+// rank's series is exhausted. The result depends only on the per-rank
+// series, so it is deterministic.
+func (jc *JobCounters) AggregateSeries() (units.Duration, []Sample) {
+	var period, last units.Duration
+	for _, rc := range jc.Ranks {
+		if rc.Period > period {
+			period = rc.Period
+		}
+		if n := len(rc.Samples); n > 0 && rc.Samples[n-1].At > last {
+			last = rc.Samples[n-1].At
+		}
+	}
+	if period <= 0 || last <= 0 {
+		return period, nil
+	}
+	n := int(last / period)
+	out := make([]Sample, 0, n)
+	idx := make([]int, len(jc.Ranks)) // per-rank cursor into Samples
+	for k := 1; k <= n; k++ {
+		t := units.Duration(k) * period
+		vals := make([]float64, len(defs))
+		for ri := range jc.Ranks {
+			rc := &jc.Ranks[ri]
+			for idx[ri] < len(rc.Samples) && rc.Samples[idx[ri]].At <= t {
+				idx[ri]++
+			}
+			var src []float64
+			switch {
+			case idx[ri] == 0:
+				// Before the rank's first sample (or a rank whose job was
+				// shorter than one period): contributes zero.
+				continue
+			case idx[ri] == len(rc.Samples) && t > rc.Samples[idx[ri]-1].At:
+				// Past the rank's series: its counters are frozen at the
+				// final cumulative values.
+				src = rc.Values
+			default:
+				src = rc.Samples[idx[ri]-1].Values
+			}
+			for i, v := range src {
+				vals[i] += v
+			}
+		}
+		out = append(out, Sample{At: t, Values: vals})
+	}
+	return period, out
+}

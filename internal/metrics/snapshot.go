@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// SnapshotSchema versions the snapshot file format.
+const SnapshotSchema = 1
+
+// SnapshotEntry is one named metric of a snapshot.
+type SnapshotEntry struct {
+	// Key is the fully-qualified metric key, e.g.
+	// "table3/000 hpcg p=4/ctr/flops.spmv".
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+	// Kind selects the diff direction rule for this metric.
+	Kind Kind `json:"kind"`
+	// Unit is informational ("flops", "bytes", "ns", "gflop/s", …).
+	Unit string `json:"unit,omitempty"`
+}
+
+// Snapshot is a canonical set of metrics from one run — the unit of the
+// regression sentinel. Its JSON form is byte-deterministic: entries are
+// sorted by key and floats use Go's shortest round-trip encoding.
+type Snapshot struct {
+	Schema int `json:"schema"`
+	// Meta carries run identification (options, suite), not compared by
+	// Diff.
+	Meta    map[string]string `json:"meta,omitempty"`
+	Entries []SnapshotEntry   `json:"entries"`
+}
+
+// NewSnapshot creates an empty snapshot with the current schema.
+func NewSnapshot(meta map[string]string) *Snapshot {
+	return &Snapshot{Schema: SnapshotSchema, Meta: meta}
+}
+
+// Add appends one metric.
+func (s *Snapshot) Add(key string, value float64, kind Kind, unit string) {
+	s.Entries = append(s.Entries, SnapshotEntry{Key: key, Value: value, Kind: kind, Unit: unit})
+}
+
+// Sort orders entries by key — the canonical order.
+func (s *Snapshot) Sort() {
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Key < s.Entries[j].Key })
+}
+
+// WriteJSON writes the canonical JSON form: sorted entries, indented,
+// trailing newline. An error is returned for duplicate keys — every
+// metric key must be unique for Diff to be meaningful.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	s.Sort()
+	for i := 1; i < len(s.Entries); i++ {
+		if s.Entries[i].Key == s.Entries[i-1].Key {
+			return fmt.Errorf("metrics: duplicate snapshot key %q", s.Entries[i].Key)
+		}
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: parsing snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("metrics: snapshot schema %d, want %d", s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// DiffOptions sets the per-kind tolerance rules. All tolerances are
+// relative fractions (0.01 = 1%).
+type DiffOptions struct {
+	// TimeTol allows Time metrics to grow by this fraction before
+	// flagging a regression; shrinking beyond it is an improvement.
+	// Negative means 0 (exact); the CLI default is 1%.
+	TimeTol float64
+	// RateTol is the mirror rule for Rate metrics (lower is worse).
+	RateTol float64
+	// WorkTol allows Work metrics to move by this fraction in either
+	// direction; the default 0 demands bit-stable operation counts —
+	// the simulator's arithmetic is deterministic, so any drift in work
+	// counters is a behavioural change, not noise.
+	WorkTol float64
+}
+
+// DiffEntry is one compared metric that moved beyond tolerance.
+type DiffEntry struct {
+	Key  string  `json:"key"`
+	Kind Kind    `json:"kind"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Delta is the relative change (new-old)/|old|; ±Inf when old is 0.
+	Delta float64 `json:"delta"`
+}
+
+func (d DiffEntry) String() string {
+	return fmt.Sprintf("%s: %v → %v (%+.2f%%, %s)", d.Key, d.Old, d.New, 100*d.Delta, d.Kind)
+}
+
+// DiffResult is the outcome of comparing two snapshots.
+type DiffResult struct {
+	// Compared counts keys present in both snapshots.
+	Compared int `json:"compared"`
+	// Regressions are metrics that moved in the bad direction beyond
+	// tolerance; Improvements moved in the good direction beyond it.
+	Regressions  []DiffEntry `json:"regressions,omitempty"`
+	Improvements []DiffEntry `json:"improvements,omitempty"`
+	// Added keys exist only in the new snapshot; Removed only in the
+	// old. Removed metrics fail the diff (coverage must not silently
+	// shrink); added ones do not.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Failed reports whether the diff should gate (non-zero exit): any
+// regression, or any metric that disappeared.
+func (d *DiffResult) Failed() bool {
+	return len(d.Regressions) > 0 || len(d.Removed) > 0
+}
+
+// Diff compares two snapshots under the tolerance rules. The result is
+// ordered by key throughout.
+func Diff(old, new *Snapshot, opt DiffOptions) *DiffResult {
+	oldBy := map[string]SnapshotEntry{}
+	for _, e := range old.Entries {
+		oldBy[e.Key] = e
+	}
+	res := &DiffResult{}
+	seen := map[string]bool{}
+	newEntries := append([]SnapshotEntry(nil), new.Entries...)
+	sort.Slice(newEntries, func(i, j int) bool { return newEntries[i].Key < newEntries[j].Key })
+	for _, e := range newEntries {
+		o, ok := oldBy[e.Key]
+		seen[e.Key] = true
+		if !ok {
+			res.Added = append(res.Added, e.Key)
+			continue
+		}
+		res.Compared++
+		if e.Value == o.Value {
+			continue
+		}
+		var rel float64
+		if o.Value != 0 {
+			rel = (e.Value - o.Value) / math.Abs(o.Value)
+		} else {
+			rel = math.Inf(1)
+			if e.Value < 0 {
+				rel = math.Inf(-1)
+			}
+		}
+		de := DiffEntry{Key: e.Key, Kind: e.Kind, Old: o.Value, New: e.Value, Delta: rel}
+		switch e.Kind {
+		case Work:
+			if math.Abs(rel) > opt.WorkTol {
+				res.Regressions = append(res.Regressions, de)
+			}
+		case Time:
+			switch {
+			case rel > opt.TimeTol:
+				res.Regressions = append(res.Regressions, de)
+			case rel < -opt.TimeTol:
+				res.Improvements = append(res.Improvements, de)
+			}
+		case Rate:
+			switch {
+			case rel < -opt.RateTol:
+				res.Regressions = append(res.Regressions, de)
+			case rel > opt.RateTol:
+				res.Improvements = append(res.Improvements, de)
+			}
+		}
+	}
+	oldKeys := make([]string, 0, len(oldBy))
+	for k := range oldBy {
+		oldKeys = append(oldKeys, k)
+	}
+	sort.Strings(oldKeys)
+	for _, k := range oldKeys {
+		if !seen[k] {
+			res.Removed = append(res.Removed, k)
+		}
+	}
+	return res
+}
+
+// Render writes the human-readable diff report.
+func (d *DiffResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "compared %d metrics: %d regressions, %d improvements, %d added, %d removed\n",
+		d.Compared, len(d.Regressions), len(d.Improvements), len(d.Added), len(d.Removed)); err != nil {
+		return err
+	}
+	for _, e := range d.Regressions {
+		if _, err := fmt.Fprintf(w, "  REGRESSION %s\n", e); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.Removed {
+		if _, err := fmt.Fprintf(w, "  REMOVED    %s\n", k); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Improvements {
+		if _, err := fmt.Fprintf(w, "  improved   %s\n", e); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.Added {
+		if _, err := fmt.Fprintf(w, "  added      %s\n", k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -33,6 +34,9 @@ type Config struct {
 	// Trace, when non-nil, receives the job's phase-annotated event
 	// timeline. Tracing never alters the simulated result.
 	Trace simmpi.TraceSink
+	// Counters enables the virtual PMU for every simulated job (see
+	// simmpi.JobConfig.Counters); nil disables it.
+	Counters *metrics.Config
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
@@ -154,6 +158,7 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		NoiseDuration:  noiseDur,
 		Congestion:     cfg.Congestion,
 		Sink:           cfg.Trace,
+		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("nekbone %s n=%d c=%d", sys.ID, cfg.Nodes, cfg.CoresPerNode),
 	}
 

@@ -129,6 +129,14 @@ func chromeEventFor(e simmpi.Event, pid int) (chromeEvent, bool) {
 			Ts: micros(e.Start), Pid: pid, Tid: 0,
 			Args: map[string]any{"util": e.Value},
 		}, true
+	case simmpi.EvCounterSample:
+		// One Perfetto counter track per virtual PMU counter, fed by
+		// the job-aggregate series.
+		return chromeEvent{
+			Name: "ctr " + e.Name, Cat: "counter", Ph: "C",
+			Ts: micros(e.Start), Pid: pid, Tid: 0,
+			Args: map[string]any{"value": e.Value},
+		}, true
 	default:
 		return chromeEvent{}, false
 	}

@@ -23,6 +23,10 @@ type Report struct {
 	// Links is the interconnect contention heatmap; present only for
 	// congestion-enabled jobs (traces without link events leave it nil).
 	Links *LinkHeatmap `json:"links,omitempty"`
+	// Counters is the virtual PMU aggregation; present only for jobs
+	// run with counters enabled (traces without counter events leave it
+	// nil).
+	Counters *CounterReport `json:"counters,omitempty"`
 }
 
 // Analyze runs every analysis over one job trace.
@@ -40,6 +44,7 @@ func Analyze(jt JobTrace, peaks Peaks) (*Report, error) {
 		Roofline:     BuildRoofline(peaks, jt),
 		CriticalPath: cp,
 		Links:        BuildLinkHeatmap(jt),
+		Counters:     BuildCounterReport(jt, peaks),
 	}
 	if rep.Nodes > 1 {
 		rep.CommByNode = rep.Comm.NodeView()
@@ -92,7 +97,15 @@ func (r *Report) Render(w io.Writer, peaks Peaks) error {
 		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
-		return r.Links.Render(w)
+		if err := r.Links.Render(w); err != nil {
+			return err
+		}
+	}
+	if r.Counters != nil {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		return r.Counters.Render(w)
 	}
 	return nil
 }

@@ -65,13 +65,13 @@ func BuildRoofline(peaks Peaks, jobs ...JobTrace) []RooflinePoint {
 	}
 	points := make([]RooflinePoint, 0, len(byClass))
 	for _, p := range byClass {
-		if p.Time > 0 {
-			p.FlopRate = units.FlopRate(units.Rate(float64(p.Flops), p.Time))
-			p.Bandwidth = units.ByteRate(units.Rate(float64(p.Bytes), p.Time))
-		}
-		if p.Bytes > 0 {
-			p.Intensity = float64(p.Flops) / float64(p.Bytes)
-		}
+		// Quick-mode runs can legitimately produce zero-duration phases
+		// (rounding of tiny modelled times); every derived rate must
+		// come out 0 then — never +Inf/NaN, which would also be invalid
+		// JSON.
+		p.FlopRate = units.FlopRate(safeRate(float64(p.Flops), p.Time))
+		p.Bandwidth = units.ByteRate(safeRate(float64(p.Bytes), p.Time))
+		p.Intensity = safeDiv(float64(p.Flops), float64(p.Bytes))
 		if peaks.FlopRate > 0 && peaks.Bandwidth > 0 {
 			fu := float64(p.FlopRate) / float64(peaks.FlopRate)
 			bu := float64(p.Bandwidth) / float64(peaks.Bandwidth)
@@ -90,6 +90,21 @@ func BuildRoofline(peaks Peaks, jobs ...JobTrace) []RooflinePoint {
 		return points[i].Class < points[j].Class
 	})
 	return points
+}
+
+// safeRate is amount/duration in units per second, 0 for zero-duration
+// (units.Rate already guards; the named helper is the package-wide
+// contract that derived rates never go Inf/NaN).
+func safeRate(amount float64, d units.Duration) float64 {
+	return units.Rate(amount, d)
+}
+
+// safeDiv is a/b with 0 for a non-positive denominator.
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
 }
 
 // RenderRoofline writes the per-class roofline table.

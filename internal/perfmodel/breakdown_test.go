@@ -1,0 +1,61 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"a64fxbench/internal/units"
+)
+
+// TestPhaseBreakdownMatchesPhaseTime is the neutrality contract behind
+// the virtual PMU: PhaseBreakdown evaluates the same roofline terms as
+// PhaseTime, so bd.Time must be bit-identical for every class, shape
+// and option mix — a counted run advances clocks exactly like an
+// uncounted one.
+func TestPhaseBreakdownMatchesPhaseTime(t *testing.T) {
+	t.Parallel()
+	m := testModel()
+	shapes := []WorkProfile{
+		{Class: SpMV, Flops: units.GFlop, Bytes: 100 * 1e9},
+		{Class: LargeGEMM, Flops: 90 * units.GFlop, Bytes: 1000},
+		{Class: DotProduct, Flops: 3 * units.MFlop, Bytes: 24 * units.MiB},
+		{Class: StencilFD, Flops: 0, Bytes: 0},
+		{Class: FFTKernel, Flops: 7 * units.MFlop, Bytes: 333},
+	}
+	opts := []PhaseOptions{
+		{Cores: 1}, {Cores: 8}, {Cores: 8, FastMath: true}, {Cores: 3},
+	}
+	for _, w := range shapes {
+		for _, opt := range opts {
+			bd := m.PhaseBreakdown(w, opt)
+			if want := m.PhaseTime(w, opt); bd.Time != want {
+				t.Errorf("%v/%+v: breakdown time %v, PhaseTime %v", w.Class, opt, bd.Time, want)
+			}
+			if got := bd.FlopTime + bd.MemStall + bd.Overhead; got != bd.Time {
+				t.Errorf("%v/%+v: components %v do not sum to %v", w.Class, opt, got, bd.Time)
+			}
+			if bd.MemStall < 0 || bd.FlopTime < 0 || bd.Overhead < 0 {
+				t.Errorf("%v/%+v: negative component in %+v", w.Class, opt, bd)
+			}
+			if bd.L1Bytes < bd.L2Bytes || bd.L2Bytes < w.Bytes {
+				t.Errorf("%v: cache traffic not monotone: L1 %v, L2 %v, DRAM %v",
+					w.Class, bd.L1Bytes, bd.L2Bytes, w.Bytes)
+			}
+		}
+	}
+}
+
+// TestCacheAmplification pins the per-class factors' invariants: L2
+// amplification never shrinks traffic and unknown classes get the
+// neutral default.
+func TestCacheAmplification(t *testing.T) {
+	t.Parallel()
+	for _, c := range KernelClasses() {
+		l1, l2 := CacheAmplification(c)
+		if l1 <= 0 || l2 < 1 {
+			t.Errorf("%v: amplification (%v, %v) out of range", c, l1, l2)
+		}
+	}
+	if l1, l2 := CacheAmplification(KernelClass(200)); l1 != 8 || l2 != 1 {
+		t.Errorf("unknown class default = (%v, %v), want (8, 1)", l1, l2)
+	}
+}

@@ -335,8 +335,10 @@ func (m *CostModel) effFor(class KernelClass) Efficiency {
 	return Efficiency{Compute: 0.10, Memory: 0.60}
 }
 
-// PhaseTime returns the simulated duration of the metered phase.
-func (m *CostModel) PhaseTime(w WorkProfile, opt PhaseOptions) units.Duration {
+// phaseTimes evaluates the three roofline terms of a phase: the flop
+// term, the memory term, and the per-call overhead. PhaseTime and
+// PhaseBreakdown both build on it, so the two agree bit-for-bit.
+func (m *CostModel) phaseTimes(w WorkProfile, opt PhaseOptions) (tFlops, tBytes, overhead units.Duration) {
 	cores := opt.Cores
 	if cores <= 0 {
 		cores = 1
@@ -354,16 +356,98 @@ func (m *CostModel) PhaseTime(w WorkProfile, opt PhaseOptions) units.Duration {
 	flopRate := m.Node.FlopRate(cores, ceff)
 	bw := units.ByteRate(float64(m.Node.PlacementBandwidth(cores)) * eff.Memory)
 
-	tFlops := units.TimeFor(float64(w.Flops), float64(flopRate))
-	tBytes := units.TimeFor(float64(w.Bytes), float64(bw))
+	tFlops = units.TimeFor(float64(w.Flops), float64(flopRate))
+	tBytes = units.TimeFor(float64(w.Bytes), float64(bw))
+	if w.Calls > 0 {
+		overhead = units.Duration(w.Calls) * m.Node.PerCallOverhead
+	}
+	return tFlops, tBytes, overhead
+}
+
+// PhaseTime returns the simulated duration of the metered phase.
+func (m *CostModel) PhaseTime(w WorkProfile, opt PhaseOptions) units.Duration {
+	tFlops, tBytes, overhead := m.phaseTimes(w, opt)
 	t := tFlops
 	if tBytes > t {
 		t = tBytes
 	}
-	if w.Calls > 0 {
-		t += units.Duration(w.Calls) * m.Node.PerCallOverhead
+	return t + overhead
+}
+
+// PhaseBreakdown splits a phase's modelled time into its roofline
+// attribution — the counter-grade view the virtual PMU records. The
+// identity Time = FlopTime + MemStall + Overhead holds exactly, and
+// Time equals PhaseTime bit-for-bit (both evaluate the same terms).
+type PhaseBreakdown struct {
+	// Time is the full phase duration (== PhaseTime).
+	Time units.Duration
+	// FlopTime is the roofline flop term F/Peff.
+	FlopTime units.Duration
+	// MemStall is the memory-bound excess max(0, B/Beff − F/Peff):
+	// the time the cores spend waiting on memory beyond useful compute.
+	// Zero for compute-bound phases.
+	MemStall units.Duration
+	// Overhead is the per-invocation cost Calls × PerCallOverhead.
+	Overhead units.Duration
+	// L1Bytes and L2Bytes are modelled cache-level traffic estimates
+	// (see CacheAmplification); the metered WorkProfile bytes are the
+	// DRAM/HBM level.
+	L1Bytes units.Bytes
+	L2Bytes units.Bytes
+}
+
+// PhaseBreakdown evaluates the counter-grade split of a phase.
+func (m *CostModel) PhaseBreakdown(w WorkProfile, opt PhaseOptions) PhaseBreakdown {
+	tFlops, tBytes, overhead := m.phaseTimes(w, opt)
+	bd := PhaseBreakdown{FlopTime: tFlops, Overhead: overhead}
+	t := tFlops
+	if tBytes > t {
+		t = tBytes
+		bd.MemStall = tBytes - tFlops
 	}
-	return t
+	bd.Time = t + overhead
+	l1PerFlop, l2Amp := CacheAmplification(w.Class)
+	bd.L2Bytes = units.Bytes(float64(w.Bytes) * l2Amp)
+	if bd.L2Bytes < w.Bytes {
+		bd.L2Bytes = w.Bytes
+	}
+	bd.L1Bytes = units.Bytes(float64(w.Flops) * l1PerFlop)
+	if bd.L1Bytes < bd.L2Bytes {
+		bd.L1Bytes = bd.L2Bytes
+	}
+	return bd
+}
+
+// cacheAmp is the per-class cache-traffic estimate: L1 bytes per flop
+// (register/L1 operand traffic) and the L2 amplification of DRAM bytes
+// (cache-resident reuse that never reaches memory). These are model
+// estimates in the spirit of the ECM model's per-level transfer
+// volumes, not measurements: dense blocked kernels move far more cache
+// than DRAM traffic, streaming kernels move almost the same at every
+// level, and irregular kernels sit in between.
+var cacheAmp = [numKernelClasses]struct{ l1PerFlop, l2Amp float64 }{
+	SpMV:          {12, 1.5},
+	SymGS:         {12, 1.6},
+	DotProduct:    {8, 1.0},
+	VectorOp:      {12, 1.0},
+	SmallGEMM:     {16, 2.0},
+	LargeGEMM:     {24, 4.0},
+	StencilFD:     {16, 1.8},
+	FluxFV:        {14, 1.6},
+	FFTKernel:     {16, 2.0},
+	GatherScatter: {16, 1.3},
+	Precond:       {8, 1.0},
+}
+
+// CacheAmplification reports the class's cache-traffic model: bytes of
+// L1 traffic per flop, and the L2:DRAM traffic ratio (≥ 1). Unknown
+// classes get a conservative streaming profile.
+func CacheAmplification(c KernelClass) (l1PerFlop, l2Amp float64) {
+	if c < 0 || c >= numKernelClasses {
+		return 8, 1.0
+	}
+	a := cacheAmp[c]
+	return a.l1PerFlop, a.l2Amp
 }
 
 // PhaseRate reports the achieved flop rate of a phase (flops / PhaseTime),

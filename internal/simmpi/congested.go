@@ -48,7 +48,8 @@ func (r *Rank) nextFlowSeq(dst, tag int) int {
 // flow schedule over the fabric's routed links.
 func recordAndSolve(cfg JobConfig, body func(*Rank) error) (*congestion.Solution, error) {
 	recCfg := cfg
-	recCfg.Sink = nil // the recording pass is never traced
+	recCfg.Sink = nil     // the recording pass is never traced
+	recCfg.Counters = nil // ... and never counted: only pass two's times are real
 	ranks, err := runRanks(recCfg, body, &congestState{recording: true})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"a64fxbench/internal/congestion"
+	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/netmodel"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/topo"
@@ -71,6 +72,15 @@ type JobConfig struct {
 	// Single-node jobs are never congested (shared memory is priced
 	// separately), so their results are exactly those of the default.
 	Congestion bool
+	// Counters enables the virtual PMU: every rank accumulates the
+	// metrics registry's counters (flops by class, cache-level traffic,
+	// stall attribution, per-peer messages, collective time) and samples
+	// them in virtual time at the configured period. The job report then
+	// carries Report.Counters, and traced jobs additionally stream
+	// EvCounter / EvCounterSample events. Nil — the default — disables
+	// the PMU entirely; it costs nothing and changes no results either
+	// way (phase times are evaluated through the same model terms).
+	Counters *metrics.Config
 	// Sink receives the job's event timeline (compute phases, sends,
 	// receives, noise, region annotations). When nil — the default —
 	// tracing is off and costs nothing. Events are streamed to the sink
@@ -191,6 +201,12 @@ type Rank struct {
 	events   []Event
 	regions  []regionFrame
 
+	// pmu is the rank's virtual performance-counter unit (nil unless
+	// JobConfig.Counters is set); collDepth tracks collective nesting so
+	// only the outermost collective attributes its time.
+	pmu       *metrics.RankPMU
+	collDepth int
+
 	// Congestion-replay state (see congested.go): flowSeq numbers this
 	// rank's sends per (dst, tag) in program order so both passes derive
 	// identical flow keys; flows is the recording pass's log.
@@ -226,12 +242,29 @@ func (r *Rank) Stats() Stats {
 // Compute executes a metered kernel phase: the rank's clock advances by
 // the modelled phase time.
 func (r *Rank) Compute(w perfmodel.WorkProfile) {
-	d := r.model.PhaseTime(w, perfmodel.PhaseOptions{
+	opt := perfmodel.PhaseOptions{
 		Cores:    r.job.cfg.ThreadsPerRank,
 		FastMath: r.job.cfg.FastMath,
-	})
+	}
+	var d units.Duration
+	if r.pmu != nil {
+		// PhaseBreakdown evaluates the same roofline terms as PhaseTime
+		// (bd.Time is bit-identical), plus the counter-grade split.
+		bd := r.model.PhaseBreakdown(w, opt)
+		d = bd.Time
+		r.pmu.Add(metrics.FlopsFor(w.Class), float64(w.Flops))
+		r.pmu.Add(metrics.MemDRAM, float64(w.Bytes))
+		r.pmu.Add(metrics.MemL2, float64(bd.L2Bytes))
+		r.pmu.Add(metrics.MemL1, float64(bd.L1Bytes))
+		r.pmu.AddTime(metrics.TimeFlops, bd.FlopTime)
+		r.pmu.AddTime(metrics.StallMem, bd.MemStall)
+		r.pmu.AddTime(metrics.StallCall, bd.Overhead)
+	} else {
+		d = r.model.PhaseTime(w, opt)
+	}
 	start := r.clock.Now()
 	r.clock.Advance(d)
+	r.observe()
 	r.record(Event{
 		Kind: EvCompute, Start: start, Duration: d, Class: w.Class,
 		Peer: -1, Flops: w.Flops, Bytes: w.Bytes,
@@ -242,6 +275,10 @@ func (r *Rank) Compute(w perfmodel.WorkProfile) {
 		if float64(h>>11)/(1<<53) < p {
 			r.record(Event{Kind: EvNoise, Start: r.clock.Now(), Duration: r.job.cfg.NoiseDuration, Peer: -1})
 			r.clock.Advance(r.job.cfg.NoiseDuration)
+			if r.pmu != nil {
+				r.pmu.AddTime(metrics.StallNoise, r.job.cfg.NoiseDuration)
+				r.observe()
+			}
 		}
 	}
 	r.stats.Flops += w.Flops
@@ -250,6 +287,14 @@ func (r *Rank) Compute(w perfmodel.WorkProfile) {
 		r.stats.ClassTime = make(map[perfmodel.KernelClass]units.Duration)
 	}
 	r.stats.ClassTime[w.Class] += d
+}
+
+// observe samples the PMU at the rank's current clock. No-op without a
+// PMU.
+func (r *Rank) observe() {
+	if r.pmu != nil {
+		r.pmu.Observe(units.Duration(r.clock.Now()))
+	}
 }
 
 // splitmix64 is the SplitMix64 mixing function — a fast, deterministic
@@ -263,7 +308,13 @@ func splitmix64(z uint64) uint64 {
 
 // Elapse advances the rank's clock by a fixed duration (setup phases,
 // modelled I/O, etc.).
-func (r *Rank) Elapse(d units.Duration) { r.clock.Advance(d) }
+func (r *Rank) Elapse(d units.Duration) {
+	r.clock.Advance(d)
+	if r.pmu != nil {
+		r.pmu.AddTime(metrics.TimeOther, d)
+		r.observe()
+	}
+}
 
 // Send transmits payload to rank dst with the given tag. The payload's
 // ownership passes to the receiver; senders must not mutate it afterwards.
@@ -295,6 +346,13 @@ func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
 	// The sender's CPU is occupied for the injection overhead; the rest
 	// of the transfer overlaps with whatever the sender does next.
 	r.clock.Advance(f.SoftwareOverhead / 2)
+	if r.pmu != nil {
+		r.pmu.AddTime(metrics.NetInject, f.SoftwareOverhead/2)
+		r.pmu.Add(metrics.SentMsgs, 1)
+		r.pmu.Add(metrics.SentBytes, float64(bytes))
+		r.pmu.AddPeer(dst, bytes)
+		r.observe()
+	}
 	r.job.box(mailboxKey{r.id, dst, tag}) <- message{
 		payload: payload,
 		bytes:   bytes,
@@ -314,9 +372,16 @@ func (r *Rank) Recv(src, tag int) any {
 	m := <-r.job.box(mailboxKey{src, r.id, tag})
 	start := r.clock.Now()
 	r.clock.AdvanceTo(m.avail)
+	wait := units.Duration(vclock.Max(m.avail, start) - start)
+	if r.pmu != nil {
+		r.pmu.AddTime(metrics.StallNet, wait)
+		r.pmu.Add(metrics.RecvMsgs, 1)
+		r.pmu.Add(metrics.RecvBytes, float64(m.bytes))
+		r.observe()
+	}
 	r.record(Event{
 		Kind: EvRecv, Start: start,
-		Duration: units.Duration(vclock.Max(m.avail, start) - start),
+		Duration: wait,
 		Peer:     src, Tag: tag, Bytes: m.bytes,
 	})
 	return m.payload
@@ -350,12 +415,29 @@ const (
 	tagScan    = 1 << 26
 )
 
+// collBegin opens a collective for PMU time attribution and returns
+// its start time; collEnd (deferred) closes it. Only the outermost
+// collective attributes — nested ones (e.g. the non-power-of-two
+// ReduceScatter path reducing to a root) are part of their parent.
+func (r *Rank) collBegin() vclock.Time {
+	r.collDepth++
+	return r.clock.Now()
+}
+
+func (r *Rank) collEnd(c metrics.Collective, start vclock.Time) {
+	r.collDepth--
+	if r.pmu != nil && r.collDepth == 0 {
+		r.pmu.AddTime(metrics.CollTime(c), units.Duration(r.clock.Now()-start))
+	}
+}
+
 // Barrier synchronises all ranks with a dissemination barrier.
 func (r *Rank) Barrier() {
 	p := r.size
 	if p == 1 {
 		return
 	}
+	defer r.collEnd(metrics.CollBarrier, r.collBegin())
 	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
 		dst := (r.id + k) % p
 		src := (r.id - k + p) % p
@@ -382,6 +464,7 @@ func (r *Rank) Allreduce(buf []float64, op Op) {
 	if p == 1 {
 		return
 	}
+	defer r.collEnd(metrics.CollAllreduce, r.collBegin())
 	// pof2 is the largest power of two ≤ p.
 	pof2 := 1
 	for pof2*2 <= p {
@@ -444,6 +527,7 @@ func (r *Rank) Bcast(root int, buf []float64) []float64 {
 	if p == 1 {
 		return buf
 	}
+	defer r.collEnd(metrics.CollBcast, r.collBegin())
 	// Rotate so the root is virtual rank 0.
 	vrank := (r.id - root + p) % p
 	// Receive from parent (highest set bit), then forward down.
@@ -475,6 +559,7 @@ func (r *Rank) Reduce(root int, buf []float64, op Op) {
 	if p == 1 {
 		return
 	}
+	defer r.collEnd(metrics.CollReduce, r.collBegin())
 	vrank := (r.id - root + p) % p
 	mask := 1
 	for mask < p {
@@ -505,6 +590,7 @@ func (r *Rank) Allgather(contrib []float64) []float64 {
 	if p == 1 {
 		return out
 	}
+	defer r.collEnd(metrics.CollAllgather, r.collBegin())
 	right := (r.id + 1) % p
 	left := (r.id - 1 + p) % p
 	cur := r.id
@@ -528,6 +614,10 @@ func (r *Rank) Alltoall(send [][]float64) [][]float64 {
 	}
 	recv := make([][]float64, p)
 	recv[r.id] = send[r.id]
+	if p == 1 {
+		return recv
+	}
+	defer r.collEnd(metrics.CollAlltoall, r.collBegin())
 	if p&(p-1) == 0 {
 		// Power of two: XOR pairwise exchange.
 		for step := 1; step < p; step++ {
@@ -561,6 +651,7 @@ func (r *Rank) ReduceScatter(buf []float64, op Op) []float64 {
 	if p == 1 {
 		return append([]float64(nil), buf...)
 	}
+	defer r.collEnd(metrics.CollReduceScatter, r.collBegin())
 	if p&(p-1) != 0 {
 		// Non-power-of-two: reduce to root then scatter (simple and
 		// correct; the common benchmark sizes are powers of two).
@@ -601,6 +692,9 @@ func (r *Rank) ReduceScatter(buf []float64, op Op) []float64 {
 // additive identity — intended for OpSum-style operators). Linear
 // pipeline implementation.
 func (r *Rank) ExScan(buf []float64, op Op) []float64 {
+	if r.size > 1 {
+		defer r.collEnd(metrics.CollExScan, r.collBegin())
+	}
 	out := make([]float64, len(buf))
 	if r.id > 0 {
 		prev := r.RecvFloats(r.id-1, tagScan)
@@ -649,6 +743,10 @@ type Report struct {
 	// Links is the per-link contention accounting of a congestion-
 	// enabled multi-node run; nil otherwise.
 	Links *congestion.LinkReport
+	// Counters is the virtual PMU's accounting — final per-rank counter
+	// vectors, sampled virtual-time series, and per-peer traffic —
+	// present exactly when JobConfig.Counters was set.
+	Counters *metrics.JobCounters
 }
 
 // GFLOPs reports the aggregate achieved rate: total flops over makespan.
@@ -708,6 +806,14 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 	rep.MeanBusy = units.DurationFromSeconds(busySum / n)
 	rep.MeanWait = units.DurationFromSeconds(waitSum / n)
 
+	if cfg.Counters != nil {
+		jc := &metrics.JobCounters{Ranks: make([]metrics.RankCounters, len(ranks))}
+		for i, r := range ranks {
+			jc.Ranks[i] = r.pmu.Counters(i)
+		}
+		rep.Counters = jc
+	}
+
 	if cfg.Sink != nil {
 		// Merge per-rank logs into one deterministic stream. The ranks
 		// have joined, so this runs on a single goroutine; virtual-time
@@ -726,6 +832,7 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 			cfg.Sink.Record(e)
 		}
 		emitLinkEvents(cfg.Sink, rep.Links)
+		emitCounterEvents(cfg.Sink, &rep)
 		cfg.Sink.Record(Event{
 			Kind: EvJobEnd, Rank: -1, Node: -1, Peer: -1, Name: label,
 			Start: vclock.Time(rep.Makespan), Duration: rep.Makespan,
@@ -748,6 +855,9 @@ func runRanks(cfg JobConfig, body func(*Rank) error, cs *congestState) ([]*Rank,
 			clock: vclock.NewClock(),
 			model: cfg.RankModel(i),
 			job:   j,
+		}
+		if cfg.Counters != nil {
+			ranks[i].pmu = metrics.NewRankPMU(*cfg.Counters, cfg.Procs)
 		}
 	}
 	errs := make([]error, cfg.Procs)

@@ -42,6 +42,18 @@ const (
 	// EvLinkSample is one utilization bucket of a busy link's time
 	// series (Value is the bucket utilization in [0, 1]).
 	EvLinkSample
+	// EvCounter is one rank's final value of one virtual PMU counter
+	// (Name is the counter, Value the cumulative value, Start the
+	// rank's finish time). Emitted between the timeline and EvJobEnd
+	// for jobs run with JobConfig.Counters, zero-valued counters
+	// omitted, in (rank, counter-ID) order.
+	EvCounter
+	// EvCounterSample is one point of the job-aggregate counter series
+	// (Rank is -1; Name is the counter, Start the sample's virtual
+	// time, Duration the sampling period, Value the cumulative sum over
+	// ranks). Only counters that changed since the previous sample are
+	// emitted.
+	EvCounterSample
 )
 
 // String names the kind.
@@ -67,6 +79,10 @@ func (k EventKind) String() string {
 		return "link"
 	case EvLinkSample:
 		return "linksample"
+	case EvCounter:
+		return "counter"
+	case EvCounterSample:
+		return "ctrsample"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -162,6 +178,8 @@ func WriteEvent(w io.Writer, e Event) (int, error) {
 			e.Name, e.Duration, 100*e.Value, e.Flows, e.PeakFlows, e.Bytes)
 	case EvLinkSample:
 		desc = fmt.Sprintf("%-22s util %3.0f%%", e.Name, 100*e.Value)
+	case EvCounter, EvCounterSample:
+		desc = fmt.Sprintf("%-22s %g", e.Name, e.Value)
 	}
 	return fmt.Fprintf(w, "%12.6fs rank %-4d %-8s %s\n",
 		e.Start.Seconds(), e.Rank, e.Kind, desc)

@@ -169,10 +169,11 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 		}
 	}
 	// Observed runs bypass the cache in both directions: a sink must see
-	// the events of this execution (a cached artifact has none), and the
-	// artifact of a bypass run must not displace the single-flight slot
-	// other workers may be waiting on.
-	if opt.Trace != nil || opt.Profile {
+	// the events of this execution (a cached artifact has none, and a
+	// counted run's PMU stream lives in the events too), and the artifact
+	// of a bypass run must not displace the single-flight slot other
+	// workers may be waiting on.
+	if opt.Trace != nil || opt.Profile || opt.Counters != nil {
 		var mem *simmpi.MemorySink
 		if opt.Profile {
 			mem = &simmpi.MemorySink{}
