@@ -125,6 +125,23 @@ type Options = core.Options
 // that affect artifact contents — the correct cache or digest key.
 type OptionsKey = core.OptionsKey
 
+// Engine selects the simulation execution substrate: the default
+// goroutine-per-rank runtime or the single-threaded discrete-event
+// engine built for very large rank counts. Both produce bit-identical
+// results for every job (Options.Engine and every benchmark Config
+// accept either).
+type Engine = simmpi.Engine
+
+// The available engines. ParseEngine maps the CLI spellings.
+const (
+	EngineGoroutine = simmpi.EngineGoroutine
+	EngineEvent     = simmpi.EngineEvent
+)
+
+// ParseEngine resolves a CLI engine name ("goroutine", "event" or ""
+// for the default) to an Engine.
+func ParseEngine(s string) (Engine, error) { return simmpi.ParseEngine(s) }
+
 // TraceSink receives the phase-annotated event stream of traced
 // simulated jobs (see the trace support in every benchmark Config).
 type TraceSink = simmpi.TraceSink

@@ -31,7 +31,7 @@ func countersCmd(ctx context.Context, ids []string, cfg sweepConfig) error {
 		}
 	}
 	opt := core.Options{
-		Quick: cfg.quick, Congestion: cfg.congestion,
+		Quick: cfg.quick, Congestion: cfg.congestion, Engine: cfg.engine,
 		Counters: &metrics.Config{Period: units.Duration(cfg.period)},
 	}
 	eng := sweep.New(cfg.jobs)

@@ -41,7 +41,7 @@ func writeLinks(ctx context.Context, w io.Writer, id string, cfg sweepConfig) er
 	mem := &simmpi.MemorySink{}
 	eng := sweep.New(1)
 	eng.SinkFor = func(string) simmpi.TraceSink { return mem }
-	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: true})[0]
+	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: true, Engine: cfg.engine})[0]
 	if res.Err != nil {
 		return res.Err
 	}

@@ -23,6 +23,9 @@ type sweepConfig struct {
 	// congestion prices multi-node communication through the routed
 	// contention model (core.Options.Congestion).
 	congestion bool
+	// engine selects the simmpi execution substrate for every simulated
+	// job (core.Options.Engine); empty means the goroutine default.
+	engine a64fxbench.Engine
 	// out is the exporting commands' output file ("" = stdout).
 	out string
 	// period is the counters command's virtual-time sampling period
@@ -48,6 +51,7 @@ func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepC
 	eng.FailFast = cfg.failFast
 	results := eng.Run(ctx, ids, a64fxbench.Options{
 		Quick: cfg.quick, Profile: cfg.profile, Congestion: cfg.congestion,
+		Engine: cfg.engine,
 	})
 
 	for _, r := range results {

@@ -38,7 +38,7 @@ func writeTrace(ctx context.Context, w io.Writer, id string, cfg sweepConfig) er
 	}
 	eng := sweep.New(1)
 	eng.SinkFor = func(string) simmpi.TraceSink { return sink }
-	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: cfg.congestion})[0]
+	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: cfg.congestion, Engine: cfg.engine})[0]
 	if res.Err != nil {
 		return res.Err
 	}

@@ -57,6 +57,10 @@ type Config struct {
 	// Counters enables the virtual PMU for every simulated job (see
 	// simmpi.JobConfig.Counters); nil disables it.
 	Counters *metrics.Config
+	// Engine selects the simmpi execution substrate (goroutine-per-rank
+	// or discrete-event); engines are bit-identical in every result.
+	// Empty means the goroutine default.
+	Engine simmpi.Engine
 }
 
 // Result is the outcome of a metered run.
@@ -152,6 +156,7 @@ func Run(cfg Config) (Result, error) {
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Sink:           cfg.Trace,
 		Counters:       cfg.Counters,
+		Engine:         cfg.Engine,
 		Label:          fmt.Sprintf("castep %s c=%d", sys.ID, procs),
 	}
 

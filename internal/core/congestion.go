@@ -39,7 +39,7 @@ var _ = registerExt(&Experiment{
 		sys := arch.MustGet(arch.A64FX)
 		for _, nodes := range nodeCounts {
 			free, err := hpcg.Run(hpcg.Config{
-				System: sys, Nodes: nodes, Iterations: iters, Trace: opt.Trace, Counters: opt.Counters,
+				System: sys, Nodes: nodes, Iterations: iters, Trace: opt.Trace, Counters: opt.Counters, Engine: opt.Engine,
 			})
 			if err != nil {
 				return nil, err
@@ -48,7 +48,7 @@ var _ = registerExt(&Experiment{
 			// and `trace` see its link events.
 			cong, err := hpcg.Run(hpcg.Config{
 				System: sys, Nodes: nodes, Iterations: iters,
-				Congestion: true, Trace: opt.Trace, Counters: opt.Counters,
+				Congestion: true, Trace: opt.Trace, Counters: opt.Counters, Engine: opt.Engine,
 			})
 			if err != nil {
 				return nil, err

@@ -62,6 +62,10 @@ type Config struct {
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
+	// Engine selects the simmpi execution substrate (goroutine-per-rank
+	// or discrete-event); engines are bit-identical in every result.
+	// Empty means the goroutine default.
+	Engine simmpi.Engine
 }
 
 // Result is the outcome of a metered run.
@@ -140,6 +144,7 @@ func Run(cfg Config) (Result, error) {
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
 		Congestion:     cfg.Congestion,
+		Engine:         cfg.Engine,
 		Sink:           cfg.Trace,
 		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("cosa %s n=%d", sys.ID, cfg.Nodes),

@@ -40,6 +40,10 @@ type Config struct {
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
+	// Engine selects the simmpi execution substrate (goroutine-per-rank
+	// or discrete-event); engines are bit-identical in every result.
+	// Empty means the goroutine default.
+	Engine simmpi.Engine
 }
 
 // OptimisedKernelGain is the memory-efficiency gain of the vendor-
@@ -196,6 +200,7 @@ func Run(cfg Config) (Result, error) {
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		Congestion:     cfg.Congestion,
+		Engine:         cfg.Engine,
 		Sink:           cfg.Trace,
 		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("hpcg %s n=%d %dx%dx%d", sys.ID, cfg.Nodes, cfg.NX, cfg.NY, cfg.NZ),

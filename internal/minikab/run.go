@@ -60,6 +60,10 @@ type Config struct {
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
+	// Engine selects the simmpi execution substrate (goroutine-per-rank
+	// or discrete-event); engines are bit-identical in every result.
+	// Empty means the goroutine default.
+	Engine simmpi.Engine
 }
 
 // DefaultIterations is the fixed Benchmark1 CG iteration count used by
@@ -186,6 +190,7 @@ func Run(cfg Config) (Result, error) {
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		Congestion:     cfg.Congestion,
+		Engine:         cfg.Engine,
 		Sink:           cfg.Trace,
 		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("minikab %s n=%d r=%d t=%d", sys.ID, cfg.Nodes, cfg.RanksPerNode, cfg.ThreadsPerRank),

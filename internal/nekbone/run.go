@@ -40,6 +40,10 @@ type Config struct {
 	// Congestion enables contention-aware interconnect pricing for
 	// multi-node runs (simmpi.JobConfig.Congestion).
 	Congestion bool
+	// Engine selects the simmpi execution substrate (goroutine-per-rank
+	// or discrete-event); engines are bit-identical in every result.
+	// Empty means the goroutine default.
+	Engine simmpi.Engine
 }
 
 func (c *Config) defaults() error {
@@ -157,6 +161,7 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		NoiseProb:      noiseProb,
 		NoiseDuration:  noiseDur,
 		Congestion:     cfg.Congestion,
+		Engine:         cfg.Engine,
 		Sink:           cfg.Trace,
 		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("nekbone %s n=%d c=%d", sys.ID, cfg.Nodes, cfg.CoresPerNode),

@@ -62,7 +62,13 @@ func (r *Rank) Split(color, key int) *Comm {
 		close(st.done)
 	}
 	st.mu.Unlock()
-	<-st.done
+	if r.eng != nil {
+		// Event engine: a real-time channel wait would stall the one
+		// runnable rank forever; park in the loop's rendezvous instead.
+		r.eng.splitWait(r, st.done)
+	} else {
+		<-st.done
+	}
 
 	// The barrier above is a synchronisation in real time only; in
 	// virtual time MPI_Comm_split is a collective, so charge a
@@ -116,14 +122,15 @@ func (c *Comm) Recv(src, tag int) any {
 	return c.rank.Recv(c.WorldRank(src), c.tagBase+tag)
 }
 
-// SendFloats sends a float64 slice within the communicator.
+// SendFloats sends a float64 slice within the communicator without
+// boxing it (see Rank.SendFloats).
 func (c *Comm) SendFloats(dst, tag int, data []float64) {
-	c.rank.Send(c.WorldRank(dst), c.tagBase+tag, data, units.Bytes(8*len(data)))
+	c.rank.SendFloats(c.WorldRank(dst), c.tagBase+tag, data)
 }
 
 // RecvFloats receives a float64 slice within the communicator.
 func (c *Comm) RecvFloats(src, tag int) []float64 {
-	return c.Recv(src, tag).([]float64)
+	return c.rank.RecvFloats(c.WorldRank(src), c.tagBase+tag)
 }
 
 // AllreduceScalar reduces one value across the communicator's members

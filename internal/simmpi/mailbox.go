@@ -1,0 +1,118 @@
+package simmpi
+
+// Goroutine-engine mailboxes. The previous implementation kept a
+// sync.Map of 64-slot channels, one per (src, dst, tag) route, created
+// on first use and never reclaimed — a long job with step-numbered tags
+// (every collective round mints a fresh tag) leaked a 64-message buffer
+// per route, and a sender stalled in real time once 64 messages were in
+// flight on one route. boxTable replaces that with a sharded map of
+// pooled mailbox structs: sends append to an unbounded FIFO and never
+// block, a drained mailbox is removed from its shard and returned to a
+// sync.Pool, and the wake channel makes receiver parking race-free.
+// All of it is real-time machinery only — virtual-time results are
+// decided by message stamps and are identical to the old code's.
+//
+// Every route has exactly one sender (rank src) and one receiver
+// (rank dst), which is what keeps the protocol simple: only the
+// receiver parks, only the sender wakes, and only the receiver reclaims.
+
+import "sync"
+
+// boxShards is the shard count of a boxTable; a power of two so the
+// hash can mask instead of mod.
+const boxShards = 64
+
+// mailbox is one route's in-flight queue. Protected by its shard's
+// mutex; wake carries at most one token, sent when the sender observes
+// a parked receiver.
+type mailbox struct {
+	q       []message
+	head    int
+	waiting bool
+	wake    chan struct{}
+}
+
+// boxShard is one lock domain of the table.
+type boxShard struct {
+	mu    sync.Mutex
+	boxes map[mailboxKey]*mailbox
+}
+
+// boxTable is the goroutine engine's routing table. The zero value is
+// ready to use.
+type boxTable struct {
+	shards [boxShards]boxShard
+	pool   sync.Pool
+}
+
+// shard hashes a route to its lock domain.
+func (t *boxTable) shard(k mailboxKey) *boxShard {
+	h := uint64(k.src)*0x9E3779B97F4A7C15 ^ uint64(k.dst)*0xBF58476D1CE4E5B9 ^ uint64(k.tag)*0x94D049BB133111EB
+	h ^= h >> 29
+	return &t.shards[h&(boxShards-1)]
+}
+
+// get pops a pooled mailbox (or makes one) with its queue reset.
+func (t *boxTable) get() *mailbox {
+	if b, ok := t.pool.Get().(*mailbox); ok {
+		return b
+	}
+	return &mailbox{wake: make(chan struct{}, 1)}
+}
+
+// send enqueues m on route k, waking the receiver if it is parked.
+// Sends never block, whatever the queue depth.
+func (t *boxTable) send(k mailboxKey, m message) {
+	s := t.shard(k)
+	s.mu.Lock()
+	if s.boxes == nil {
+		s.boxes = make(map[mailboxKey]*mailbox)
+	}
+	b := s.boxes[k]
+	if b == nil {
+		b = t.get()
+		s.boxes[k] = b
+	}
+	b.q = append(b.q, m)
+	wake := b.waiting
+	b.waiting = false
+	s.mu.Unlock()
+	if wake {
+		b.wake <- struct{}{}
+	}
+}
+
+// recv dequeues the next message on route k, blocking until one
+// arrives. A mailbox drained to empty is reclaimed into the pool — the
+// receiver is the only party that removes boxes, so a parked receiver's
+// box can never vanish underneath it.
+func (t *boxTable) recv(k mailboxKey) message {
+	s := t.shard(k)
+	for {
+		s.mu.Lock()
+		if s.boxes == nil {
+			s.boxes = make(map[mailboxKey]*mailbox)
+		}
+		b := s.boxes[k]
+		if b == nil {
+			b = t.get()
+			s.boxes[k] = b
+		}
+		if b.head < len(b.q) {
+			m := b.q[b.head]
+			b.q[b.head] = message{}
+			b.head++
+			if b.head == len(b.q) {
+				delete(s.boxes, k)
+				b.q = b.q[:0]
+				b.head = 0
+				t.pool.Put(b)
+			}
+			s.mu.Unlock()
+			return m
+		}
+		b.waiting = true
+		s.mu.Unlock()
+		<-b.wake
+	}
+}

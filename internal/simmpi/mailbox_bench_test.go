@@ -1,0 +1,101 @@
+package simmpi
+
+// Allocation guard for the mailbox rework: a steady-state ping-pong
+// exchange must not allocate per message under either engine. The old
+// sync.Map mailboxes allocated a 64-deep channel per route and never
+// reclaimed anything within a job; the pooled boxTable (mailbox.go) and
+// the event engine's arena-backed route queues (event.go) both reuse
+// their structures, and these tests pin that.
+
+import (
+	"runtime"
+	"testing"
+)
+
+// pingPongMallocs runs a 2-rank ping-pong of iters round trips under
+// eng and returns the process malloc count it took. The payload slice's
+// ownership round-trips, so a leak-free runtime allocates only job
+// setup, not per-iteration state.
+func pingPongMallocs(t *testing.T, eng Engine, iters int) uint64 {
+	t.Helper()
+	c := cfg(2, 1)
+	c.Engine = eng
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := Run(c, func(r *Rank) error {
+		buf := make([]float64, 64)
+		for i := 0; i < iters; i++ {
+			if r.ID() == 0 {
+				r.SendFloats(1, 7, buf)
+				buf = r.RecvFloats(1, 9)
+			} else {
+				buf = r.RecvFloats(0, 7)
+				r.SendFloats(0, 9, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestPingPongAllocGuard pins steady-state allocations per ping-pong
+// round trip. Differencing a long run against a short one cancels the
+// fixed job-setup allocations; the bound is deliberately loose against
+// incidental runtime allocations but far below one alloc per message —
+// the regression this guards against (per-route channels, per-message
+// boxes) costs hundreds per thousand round trips.
+func TestPingPongAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates per channel operation")
+	}
+	for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+		t.Run(string(eng), func(t *testing.T) {
+			const short, long = 200, 5200
+			base := pingPongMallocs(t, eng, short)
+			full := pingPongMallocs(t, eng, long)
+			var extra uint64
+			if full > base {
+				extra = full - base
+			}
+			perK := float64(extra) / float64(long-short) * 1000
+			t.Logf("%s: %d extra mallocs over %d round trips (%.1f per 1000)",
+				eng, extra, long-short, perK)
+			if perK > 100 { // 0.1 allocs per round trip
+				t.Fatalf("%s engine allocates %.1f times per 1000 ping-pong round trips; mailboxes are leaking again", eng, perK)
+			}
+		})
+	}
+}
+
+// BenchmarkMailboxPingPong reports ns and allocs per ping-pong round
+// trip for both engines (allocs/op is the headline: it must be ~0).
+func BenchmarkMailboxPingPong(b *testing.B) {
+	for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+		b.Run(string(eng), func(b *testing.B) {
+			c := cfg(2, 1)
+			c.Engine = eng
+			b.ReportAllocs()
+			_, err := Run(c, func(r *Rank) error {
+				buf := make([]float64, 64)
+				for i := 0; i < b.N; i++ {
+					if r.ID() == 0 {
+						r.SendFloats(1, 7, buf)
+						buf = r.RecvFloats(1, 9)
+					} else {
+						buf = r.RecvFloats(0, 7)
+						r.SendFloats(0, 9, buf)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

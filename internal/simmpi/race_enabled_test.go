@@ -1,0 +1,8 @@
+//go:build race
+
+package simmpi
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its shadow-memory bookkeeping allocates on channel operations, so
+// allocation-exactness tests must skip under -race.
+const raceEnabled = true

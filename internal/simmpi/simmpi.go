@@ -31,6 +31,40 @@ import (
 	"a64fxbench/internal/vclock"
 )
 
+// Engine selects the execution substrate that drives the simulated
+// ranks. Both engines implement the same virtual-time semantics and are
+// bit-identical in every observable output (reports, traces, counters,
+// link heatmaps); they differ only in how rank bodies are scheduled in
+// real time.
+type Engine string
+
+// The available engines.
+const (
+	// EngineGoroutine (the default) runs every rank as its own
+	// goroutine with channel-backed mailboxes — simple, parallel across
+	// cores, and fine up to a few thousand ranks.
+	EngineGoroutine Engine = "goroutine"
+	// EngineEvent runs all ranks under a single-threaded discrete-event
+	// loop: rank bodies become coroutine-style continuations that yield
+	// at the blocking points (Recv, collectives, Split), a binary-heap
+	// ready queue keyed on (virtual time, rank, sequence) picks the next
+	// continuation, and world collectives are executed as one batched
+	// event instead of N point-to-point rendezvous. This is the engine
+	// for 10⁴–10⁵ rank jobs.
+	EngineEvent Engine = "event"
+)
+
+// ParseEngine resolves a CLI-style engine name ("" means the default).
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineGoroutine:
+		return EngineGoroutine, nil
+	case EngineEvent:
+		return EngineEvent, nil
+	}
+	return "", fmt.Errorf("simmpi: unknown engine %q (want %q or %q)", s, EngineGoroutine, EngineEvent)
+}
+
 // JobConfig describes one simulated parallel job.
 type JobConfig struct {
 	// Procs is the total number of MPI ranks.
@@ -91,6 +125,11 @@ type JobConfig struct {
 	// Label names the job in trace output (EvJobBegin/EvJobEnd markers);
 	// empty defaults to "job p=<Procs>".
 	Label string
+	// Engine selects the execution substrate (see Engine). The empty
+	// value means EngineGoroutine. Results are bit-identical across
+	// engines; Engine is therefore an execution detail, like the worker
+	// count of a sweep, and never part of an artifact's identity.
+	Engine Engine
 }
 
 // validate normalises and checks the configuration.
@@ -126,6 +165,13 @@ func (c *JobConfig) validate() error {
 		perNode := (c.Procs + c.Nodes - 1) / c.Nodes
 		c.NodeOf = func(r int) int { return r / perNode }
 	}
+	switch c.Engine {
+	case "":
+		c.Engine = EngineGoroutine
+	case EngineGoroutine, EngineEvent:
+	default:
+		return fmt.Errorf("simmpi: unknown engine %q", c.Engine)
+	}
 	return nil
 }
 
@@ -137,8 +183,13 @@ func (singleNodeTopo) Hops(a, b int) int          { return 0 }
 func (singleNodeTopo) Route(a, b int) []topo.Link { return nil }
 func (singleNodeTopo) MaxNodes() int              { return 1 }
 
-// message is the unit carried between ranks.
+// message is the unit carried between ranks. Float payloads — the
+// overwhelming majority, including every collective internal — travel
+// in the concrete floats field; boxing a slice into `any` costs a heap
+// allocation per message, which at 10⁵ ranks is most of the garbage a
+// job makes. payload carries the rare non-float Send.
 type message struct {
+	floats  []float64
 	payload any
 	bytes   units.Bytes
 	avail   vclock.Time
@@ -153,25 +204,12 @@ type mailboxKey struct {
 type job struct {
 	cfg     JobConfig
 	congest *congestState // nil unless Congestion is on and Nodes > 1
-	boxes   sync.Map      // mailboxKey → chan message
+	boxes   boxTable      // goroutine-engine mailboxes (see mailbox.go)
 
 	// Split coordination (see comm.go).
 	splitMu  sync.Mutex
 	splits   map[int]*splitState
 	splitSeq map[int]int
-}
-
-// box returns (creating if needed) the FIFO channel for a route.
-func (j *job) box(k mailboxKey) chan message {
-	if v, ok := j.boxes.Load(k); ok {
-		return v.(chan message)
-	}
-	// Modest buffering: sends are eager, and no benchmark keeps more
-	// than a few unmatched messages in flight on one (src,dst,tag)
-	// route, so a small buffer avoids both deadlock and the memory
-	// cost of allocating large channels for every route.
-	v, _ := j.boxes.LoadOrStore(k, make(chan message, 64))
-	return v.(chan message)
 }
 
 // Stats accumulates one rank's activity.
@@ -196,6 +234,7 @@ type Rank struct {
 	clock    *vclock.Clock
 	model    *perfmodel.CostModel
 	job      *job
+	eng      *eventEngine // nil under the goroutine engine
 	stats    Stats
 	noiseSeq uint64
 	events   []Event
@@ -316,10 +355,22 @@ func (r *Rank) Elapse(d units.Duration) {
 	}
 }
 
-// Send transmits payload to rank dst with the given tag. The payload's
-// ownership passes to the receiver; senders must not mutate it afterwards.
-// bytes is the modelled wire size (callers know their datatype sizes).
-func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
+// sendCore prices one outgoing message and performs every per-rank side
+// effect of a send — clock, PMU, statistics, congestion flows, and the
+// trace event — but leaves delivery to the caller. Both engines and the
+// batched collective executor share it, which is what makes their
+// observable outputs bit-identical by construction.
+func (r *Rank) sendCore(dst, tag int, payload any, bytes units.Bytes) message {
+	m := r.sendFloatsCore(dst, tag, nil, bytes)
+	m.payload = payload
+	return m
+}
+
+// sendFloatsCore is sendCore for float-slice payloads — the dominant
+// case, including every collective internal. Keeping the slice header
+// in the message's concrete floats field avoids the interface-boxing
+// heap allocation that Send pays once per message.
+func (r *Rank) sendFloatsCore(dst, tag int, data []float64, bytes units.Bytes) message {
 	if dst < 0 || dst >= r.size {
 		panic(fmt.Sprintf("simmpi: send to invalid rank %d (size %d)", dst, r.size))
 	}
@@ -340,6 +391,10 @@ func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
 		} else {
 			total = f.PointToPointDilated(r.node, dstNode, bytes, cs.sol.Dilation(k))
 		}
+	} else if r.eng != nil {
+		// Contention-free pricing is a pure function of (hops, bytes);
+		// the event engine memoises it (see eventEngine.price).
+		total = r.eng.price(r.node, dstNode, bytes)
 	} else {
 		total = f.PointToPoint(r.node, dstNode, bytes)
 	}
@@ -353,23 +408,30 @@ func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
 		r.pmu.AddPeer(dst, bytes)
 		r.observe()
 	}
-	r.job.box(mailboxKey{r.id, dst, tag}) <- message{
-		payload: payload,
-		bytes:   bytes,
-		avail:   sendAt.Add(total),
-	}
 	r.stats.MsgsSent++
 	r.stats.BytesSent += bytes
 	r.record(Event{Kind: EvSend, Start: sendAt, Duration: f.SoftwareOverhead / 2, Peer: dst, Tag: tag, Bytes: bytes})
+	return message{
+		floats: data,
+		bytes:  bytes,
+		avail:  sendAt.Add(total),
+	}
 }
 
-// Recv blocks until a message from src with the given tag arrives,
-// advances virtual time to its availability, and returns the payload.
-func (r *Rank) Recv(src, tag int) any {
-	if src < 0 || src >= r.size {
-		panic(fmt.Sprintf("simmpi: recv from invalid rank %d (size %d)", src, r.size))
+// recvCore performs every per-rank side effect of receiving m — the
+// virtual-time jump to its availability, PMU, and the trace event — and
+// returns the payload. The caller has already matched the message.
+func (r *Rank) recvCore(m message, src, tag int) any {
+	r.recvFloatsCore(m, src, tag)
+	if m.floats != nil {
+		return m.floats
 	}
-	m := <-r.job.box(mailboxKey{src, r.id, tag})
+	return m.payload
+}
+
+// recvFloatsCore is recvCore for float-slice payloads: identical side
+// effects, but the payload stays a concrete []float64 end to end.
+func (r *Rank) recvFloatsCore(m message, src, tag int) []float64 {
 	start := r.clock.Now()
 	r.clock.AdvanceTo(m.avail)
 	wait := units.Duration(vclock.Max(m.avail, start) - start)
@@ -384,17 +446,52 @@ func (r *Rank) Recv(src, tag int) any {
 		Duration: wait,
 		Peer:     src, Tag: tag, Bytes: m.bytes,
 	})
-	return m.payload
+	return m.floats
+}
+
+// deliver hands a priced message to the active engine's matching layer.
+func (r *Rank) deliver(dst, tag int, m message) {
+	if r.eng != nil {
+		r.eng.post(r.id, dst, tag, m)
+		return
+	}
+	r.job.boxes.send(mailboxKey{r.id, dst, tag}, m)
+}
+
+// fetch blocks until a message from src with the given tag is matched.
+func (r *Rank) fetch(src, tag int) message {
+	if src < 0 || src >= r.size {
+		panic(fmt.Sprintf("simmpi: recv from invalid rank %d (size %d)", src, r.size))
+	}
+	if r.eng != nil {
+		return r.eng.await(r, src, tag)
+	}
+	return r.job.boxes.recv(mailboxKey{src, r.id, tag})
+}
+
+// Send transmits payload to rank dst with the given tag. The payload's
+// ownership passes to the receiver; senders must not mutate it afterwards.
+// bytes is the modelled wire size (callers know their datatype sizes).
+func (r *Rank) Send(dst, tag int, payload any, bytes units.Bytes) {
+	r.deliver(dst, tag, r.sendCore(dst, tag, payload, bytes))
+}
+
+// Recv blocks until a message from src with the given tag arrives,
+// advances virtual time to its availability, and returns the payload.
+func (r *Rank) Recv(src, tag int) any {
+	return r.recvCore(r.fetch(src, tag), src, tag)
 }
 
 // SendFloats sends a float64 slice (8 bytes per element on the wire).
+// Unlike Send, the slice is never boxed into an interface, so the send
+// itself does not allocate.
 func (r *Rank) SendFloats(dst, tag int, data []float64) {
-	r.Send(dst, tag, data, units.Bytes(8*len(data)))
+	r.deliver(dst, tag, r.sendFloatsCore(dst, tag, data, units.Bytes(8*len(data))))
 }
 
 // RecvFloats receives a float64 slice sent with SendFloats.
 func (r *Rank) RecvFloats(src, tag int) []float64 {
-	return r.Recv(src, tag).([]float64)
+	return r.recvFloatsCore(r.fetch(src, tag), src, tag)
 }
 
 // Sendrecv exchanges slices with a partner rank without deadlock (sends
@@ -437,6 +534,10 @@ func (r *Rank) Barrier() {
 	if p == 1 {
 		return
 	}
+	if r.eng != nil {
+		r.eng.collective(r, collArgs{kind: collBarrier})
+		return
+	}
 	defer r.collEnd(metrics.CollBarrier, r.collBegin())
 	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
 		dst := (r.id + k) % p
@@ -462,6 +563,10 @@ var (
 func (r *Rank) Allreduce(buf []float64, op Op) {
 	p := r.size
 	if p == 1 {
+		return
+	}
+	if r.eng != nil {
+		r.eng.collective(r, collArgs{kind: collAllreduce, buf: buf, op: op})
 		return
 	}
 	defer r.collEnd(metrics.CollAllreduce, r.collBegin())
@@ -527,6 +632,9 @@ func (r *Rank) Bcast(root int, buf []float64) []float64 {
 	if p == 1 {
 		return buf
 	}
+	if r.eng != nil {
+		return r.eng.collective(r, collArgs{kind: collBcast, buf: buf, root: root}).([]float64)
+	}
 	defer r.collEnd(metrics.CollBcast, r.collBegin())
 	// Rotate so the root is virtual rank 0.
 	vrank := (r.id - root + p) % p
@@ -557,6 +665,10 @@ func (r *Rank) Bcast(root int, buf []float64) []float64 {
 func (r *Rank) Reduce(root int, buf []float64, op Op) {
 	p := r.size
 	if p == 1 {
+		return
+	}
+	if r.eng != nil {
+		r.eng.collective(r, collArgs{kind: collReduce, buf: buf, op: op, root: root})
 		return
 	}
 	defer r.collEnd(metrics.CollReduce, r.collBegin())
@@ -590,6 +702,9 @@ func (r *Rank) Allgather(contrib []float64) []float64 {
 	if p == 1 {
 		return out
 	}
+	if r.eng != nil {
+		return r.eng.collective(r, collArgs{kind: collAllgather, buf: contrib, out: out}).([]float64)
+	}
 	defer r.collEnd(metrics.CollAllgather, r.collBegin())
 	right := (r.id + 1) % p
 	left := (r.id - 1 + p) % p
@@ -616,6 +731,9 @@ func (r *Rank) Alltoall(send [][]float64) [][]float64 {
 	recv[r.id] = send[r.id]
 	if p == 1 {
 		return recv
+	}
+	if r.eng != nil {
+		return r.eng.collective(r, collArgs{kind: collAlltoall, mat: send, recvMat: recv}).([][]float64)
 	}
 	defer r.collEnd(metrics.CollAlltoall, r.collBegin())
 	if p&(p-1) == 0 {
@@ -650,6 +768,9 @@ func (r *Rank) ReduceScatter(buf []float64, op Op) []float64 {
 	blk := n / p
 	if p == 1 {
 		return append([]float64(nil), buf...)
+	}
+	if r.eng != nil {
+		return r.eng.collective(r, collArgs{kind: collReduceScatter, buf: buf, op: op}).([]float64)
 	}
 	defer r.collEnd(metrics.CollReduceScatter, r.collBegin())
 	if p&(p-1) != 0 {
@@ -692,6 +813,9 @@ func (r *Rank) ReduceScatter(buf []float64, op Op) []float64 {
 // additive identity — intended for OpSum-style operators). Linear
 // pipeline implementation.
 func (r *Rank) ExScan(buf []float64, op Op) []float64 {
+	if r.eng != nil && r.size > 1 {
+		return r.eng.collective(r, collArgs{kind: collExScan, buf: buf, op: op}).([]float64)
+	}
 	if r.size > 1 {
 		defer r.collEnd(metrics.CollExScan, r.collBegin())
 	}
@@ -841,8 +965,8 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 	return rep, nil
 }
 
-// runRanks spawns one goroutine per rank, runs body on each, joins them,
-// and returns the ranks with their final clocks and logs. cs selects the
+// runRanks executes body on every rank under the configured engine and
+// returns the ranks with their final clocks and logs. cs selects the
 // congestion-replay mode (nil = contention-free pricing).
 func runRanks(cfg JobConfig, body func(*Rank) error, cs *congestState) ([]*Rank, error) {
 	j := &job{cfg: cfg, congest: cs, splitSeq: map[int]int{}}
@@ -860,7 +984,16 @@ func runRanks(cfg JobConfig, body func(*Rank) error, cs *congestState) ([]*Rank,
 			ranks[i].pmu = metrics.NewRankPMU(*cfg.Counters, cfg.Procs)
 		}
 	}
-	errs := make([]error, cfg.Procs)
+	if cfg.Engine == EngineEvent {
+		return ranks, runEventLoop(j, ranks, body)
+	}
+	return ranks, runGoroutines(ranks, body)
+}
+
+// runGoroutines is the classic engine: one goroutine per rank, real
+// channels between them, the Go scheduler free to interleave.
+func runGoroutines(ranks []*Rank, body func(*Rank) error) error {
+	errs := make([]error, len(ranks))
 	var wg sync.WaitGroup
 	for i := range ranks {
 		wg.Add(1)
@@ -877,8 +1010,8 @@ func runRanks(cfg JobConfig, body func(*Rank) error, cs *congestState) ([]*Rank,
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return ranks, nil
+	return nil
 }

@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/sweep/golden"
+)
+
+// TestEventEngineMatchesGoroutine is the whole-repo differential gate
+// for the discrete-event engine: every paper artifact and extension
+// ablation of the quick-mode sweep, re-run on the event engine, must be
+// byte-identical to the goroutine-engine fixture. Together with the
+// golden manifest this pins the event engine to the same digests the
+// repo has always shipped.
+func TestEventEngineMatchesGoroutine(t *testing.T) {
+	t.Parallel()
+	seq := sequentialArtifacts(t)
+	eng := New(0)
+	results := eng.Run(context.Background(), allIDs(), core.Options{
+		Quick: true, Engine: simmpi.EngineEvent,
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s (event engine): %v", r.ID, r.Err)
+		}
+		want, ok := seq[r.ID]
+		if !ok {
+			t.Fatalf("%s: no goroutine-engine counterpart", r.ID)
+		}
+		if !bytes.Equal(golden.Canonical(r.Artifact), golden.Canonical(want)) {
+			t.Errorf("%s: event-engine artifact differs from goroutine engine (digest %s vs %s)",
+				r.ID, golden.Digest(r.Artifact), golden.Digest(want))
+		}
+	}
+	if len(results) != len(seq) {
+		t.Errorf("event-engine sweep produced %d artifacts, goroutine %d", len(results), len(seq))
+	}
+}
+
+// TestCacheKeysOnEngine pins the cache contract the differential gate
+// depends on: requests that differ only in engine must execute
+// separately, while a repeat under the same engine is served cached.
+func TestCacheKeysOnEngine(t *testing.T) {
+	t.Parallel()
+	eng := New(1)
+	ctx := context.Background()
+	gor := eng.Run(ctx, []string{"table3"}, core.Options{Quick: true})[0]
+	if gor.Err != nil {
+		t.Fatal(gor.Err)
+	}
+	evt := eng.Run(ctx, []string{"table3"}, core.Options{Quick: true, Engine: simmpi.EngineEvent})[0]
+	if evt.Err != nil {
+		t.Fatal(evt.Err)
+	}
+	if evt.Cached {
+		t.Fatal("event-engine run was served from the goroutine engine's cache slot")
+	}
+	if !bytes.Equal(golden.Canonical(gor.Artifact), golden.Canonical(evt.Artifact)) {
+		t.Fatalf("engines disagree on table3: %s vs %s",
+			golden.Digest(gor.Artifact), golden.Digest(evt.Artifact))
+	}
+	again := eng.Run(ctx, []string{"table3"}, core.Options{Quick: true, Engine: simmpi.EngineEvent})[0]
+	if again.Err != nil {
+		t.Fatal(again.Err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat event-engine run missed the cache")
+	}
+}

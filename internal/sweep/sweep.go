@@ -66,10 +66,14 @@ func Lookup(id string) (*core.Experiment, error) {
 // artifact-affecting projection of the options (core.OptionsKey):
 // observability settings never change artifact contents, so a traced
 // and an untraced execution of the same experiment are interchangeable
-// as far as the cache is concerned.
+// as far as the cache is concerned. The engine IS part of the key even
+// though engines are bit-identical in output: a differential sweep that
+// asks for both engines must actually execute both, not serve the
+// second request from the first engine's cached artifact.
 type cacheKey struct {
 	id  string
 	opt core.OptionsKey
+	eng simmpi.Engine
 }
 
 // cacheEntry is a single-flight slot: the first requester runs the
@@ -190,7 +194,7 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 		}
 		return res
 	}
-	entry, owner := e.entryFor(cacheKey{id, opt.ArtifactKey()})
+	entry, owner := e.entryFor(cacheKey{id, opt.ArtifactKey(), opt.Engine})
 	if !owner {
 		// Someone else is (or was) computing this key; wait for it.
 		select {
