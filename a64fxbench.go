@@ -31,6 +31,8 @@
 package a64fxbench
 
 import (
+	"io"
+
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/castep"
 	"a64fxbench/internal/core"
@@ -41,6 +43,7 @@ import (
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/paper"
+	"a64fxbench/internal/serve"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
 )
@@ -192,6 +195,51 @@ func DiffCounterSnapshots(old, new *CounterSnapshot, opt CounterDiffOptions) *Co
 func LoadCounterSnapshot(path string) (*CounterSnapshot, error) {
 	return metrics.LoadSnapshot(path)
 }
+
+// Instrumentation bundles the observability and network-pricing options
+// (Trace, Congestion, Counters) every benchmark Config embeds — set the
+// fields once instead of wiring three knobs per benchmark.
+type Instrumentation = core.Instrumentation
+
+// Request is the unified, serializable experiment-execution descriptor:
+// what the CLI builds from flags and the serve daemon decodes from a
+// JSON body. Normalize (or decode) before hashing; Digest is the
+// content-addressed cache and singleflight key.
+type Request = core.Request
+
+// UnknownIDError reports a request id that resolves to neither a paper
+// experiment nor an extension, carrying the full valid-id list.
+type UnknownIDError = core.UnknownIDError
+
+// DecodeRequest strictly decodes one JSON Request from r: unknown
+// fields and trailing data are rejected, ids and engine validated, the
+// result normalized.
+func DecodeRequest(r io.Reader) (Request, error) { return core.DecodeRequest(r) }
+
+// ParseRequest is DecodeRequest over raw bytes.
+func ParseRequest(data []byte) (Request, error) { return core.ParseRequest(data) }
+
+// ValidRequestIDs lists every runnable id: paper artifacts in paper
+// order, then extensions sorted by id.
+func ValidRequestIDs() []string { return core.ValidIDs() }
+
+// RegisterExtension adds a custom ablation experiment to the extension
+// registry at run time; it then runs through the CLI (`ext`, `run`) and
+// the serve daemon like any built-in.
+func RegisterExtension(e *Experiment) error { return core.RegisterExtension(e) }
+
+// NewServer builds the sweep-as-a-service HTTP daemon (`a64fxbench
+// serve`): POST /v1/run, /v1/sweep, /v1/trace, /v1/counters and
+// /v1/links over Request bodies, GET /v1/healthz and /metrics. Mount
+// ServerHandler on any http server.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// Server is the daemon; Handler() is its mountable http.Handler.
+type Server = serve.Server
+
+// ServerConfig tunes the daemon's concurrency, queue depth and response
+// cache.
+type ServerConfig = serve.Config
 
 // Experiments lists every table and figure of the paper's evaluation in
 // order.

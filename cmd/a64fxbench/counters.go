@@ -6,12 +6,8 @@ import (
 	"io"
 
 	"a64fxbench"
-	"a64fxbench/internal/core"
 	"a64fxbench/internal/metrics"
-	"a64fxbench/internal/obs"
-	"a64fxbench/internal/simmpi"
-	"a64fxbench/internal/sweep"
-	"a64fxbench/internal/units"
+	"a64fxbench/internal/serve"
 )
 
 // countersCmd runs experiments with the virtual PMU enabled and exports
@@ -20,7 +16,9 @@ import (
 // canonical snapshot, diffable with `a64fxbench diff`), or -format=csv
 // (the sampled counter series in long form). No ids means the full
 // suite — every paper artifact plus every extension. -o redirects to a
-// file, -period sets the virtual-time sampling period.
+// file, -period sets the virtual-time sampling period. The flags become
+// a core.Request and run through the same executor the serve daemon's
+// /v1/counters uses.
 func countersCmd(ctx context.Context, ids []string, cfg sweepConfig) error {
 	if len(ids) == 0 {
 		for _, e := range a64fxbench.Experiments() {
@@ -30,78 +28,16 @@ func countersCmd(ctx context.Context, ids []string, cfg sweepConfig) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	opt := core.Options{
-		Quick: cfg.quick, Congestion: cfg.congestion, Engine: cfg.engine,
-		Counters: &metrics.Config{Period: units.Duration(cfg.period)},
+	req, err := cfg.request(ids)
+	if err != nil {
+		return err
 	}
-	eng := sweep.New(cfg.jobs)
-	eng.FailFast = cfg.failFast
-
-	switch cfg.format {
-	case "json":
-		snap, _, err := sweep.CounterSnapshot(ctx, eng, ids, opt)
-		if err != nil {
-			return err
-		}
-		return withOutput(cfg, snap.WriteJSON)
-	case "text", "", "csv":
-		jobs, err := runCounted(ctx, eng, ids, opt)
-		if err != nil {
-			return err
-		}
-		return withOutput(cfg, func(w io.Writer) error {
-			if cfg.format == "csv" {
-				return obs.WriteCounterCSV(w, jobs)
-			}
-			for _, jt := range jobs {
-				cr := obs.BuildCounterReport(jt, obs.A64FXPeaks(jt))
-				if cr == nil {
-					continue
-				}
-				if err := cr.Render(w); err != nil {
-					return err
-				}
-				if _, err := io.WriteString(w, "\n"); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	default:
-		return fmt.Errorf("counters: unknown format %q (want text, json or csv)", cfg.format)
+	if err := serve.CheckFormat("counters", req.Format); err != nil {
+		return err
 	}
-}
-
-// runCounted executes the (deduplicated) ids with per-id memory sinks
-// and returns every simulated job's trace in id order.
-func runCounted(ctx context.Context, eng *sweep.Engine, ids []string, opt core.Options) ([]obs.JobTrace, error) {
-	uniq := make([]string, 0, len(ids))
-	seen := map[string]bool{}
-	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
-			uniq = append(uniq, id)
-		}
-	}
-	sinks := make(map[string]*simmpi.MemorySink, len(uniq))
-	for _, id := range uniq {
-		sinks[id] = &simmpi.MemorySink{}
-	}
-	eng.SinkFor = func(id string) simmpi.TraceSink {
-		if s, ok := sinks[id]; ok {
-			return s
-		}
-		return nil
-	}
-	results := eng.Run(ctx, uniq, opt)
-	if err := sweep.FirstError(results); err != nil {
-		return nil, err
-	}
-	var jobs []obs.JobTrace
-	for _, id := range uniq {
-		jobs = append(jobs, obs.SplitJobs(sinks[id].Events)...)
-	}
-	return jobs, nil
+	return withOutput(cfg, func(w io.Writer) error {
+		return serve.WriteCounters(ctx, w, req, cfg.jobs)
+	})
 }
 
 // diffCmd compares two counter snapshots under the tolerance rules and

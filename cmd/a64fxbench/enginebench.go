@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -100,18 +101,11 @@ func enginebenchCmd(cfg sweepConfig, args []string) error {
 	}
 	snap.Speedup = math.Round(snap.Results[1].RanksPerSec/snap.Results[0].RanksPerSec*100) / 100
 
-	out := os.Stdout
-	if cfg.out != "" {
-		f, err := os.Create(cfg.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	if err := withOutput(cfg, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}); err != nil {
 		return err
 	}
 	for _, r := range snap.Results {

@@ -2,84 +2,27 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
 	"io"
 
-	"a64fxbench/internal/core"
-	"a64fxbench/internal/obs"
-	"a64fxbench/internal/simmpi"
-	"a64fxbench/internal/sweep"
+	"a64fxbench/internal/serve"
 )
 
 // linksCmd runs one experiment with congestion-aware network pricing and
 // renders the per-link contention heatmap of every simulated job:
 // -format=text prints sparkline heatmaps, -format=json the structured
 // report. -o redirects to a file. Experiments whose jobs are all
-// single-node produce no contended links and say so.
+// single-node produce no contended links and say so. The flags become a
+// core.Request and run through the same executor the serve daemon's
+// /v1/links uses.
 func linksCmd(ctx context.Context, id string, cfg sweepConfig) error {
-	return withOutput(cfg, func(w io.Writer) error {
-		return writeLinks(ctx, w, id, cfg)
-	})
-}
-
-// linkReport pairs one job's identity with its heatmap for JSON output.
-type linkReport struct {
-	Label string           `json:"label"`
-	Ranks int              `json:"ranks"`
-	Nodes int              `json:"nodes"`
-	Links *obs.LinkHeatmap `json:"links"`
-}
-
-// writeLinks executes the congested traced run and renders heatmaps to w.
-func writeLinks(ctx context.Context, w io.Writer, id string, cfg sweepConfig) error {
-	switch cfg.format {
-	case "text", "", "json":
-	default:
-		return fmt.Errorf("links: unknown format %q (want text or json)", cfg.format)
-	}
-	mem := &simmpi.MemorySink{}
-	eng := sweep.New(1)
-	eng.SinkFor = func(string) simmpi.TraceSink { return mem }
-	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: true, Engine: cfg.engine})[0]
-	if res.Err != nil {
-		return res.Err
-	}
-	jobs := obs.SplitJobs(mem.Events)
-	if cfg.format == "json" {
-		reports := make([]linkReport, 0, len(jobs))
-		for _, jt := range jobs {
-			reports = append(reports, linkReport{
-				Label: jt.Label, Ranks: jt.NumRanks(), Nodes: jt.NumNodes(),
-				Links: obs.BuildLinkHeatmap(jt),
-			})
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
-	}
-	contended := 0
-	for _, jt := range jobs {
-		hm := obs.BuildLinkHeatmap(jt)
-		if hm == nil {
-			continue
-		}
-		contended++
-		if _, err := fmt.Fprintf(w, "=== %s: %d ranks on %d nodes ===\n",
-			jt.Label, jt.NumRanks(), jt.NumNodes()); err != nil {
-			return err
-		}
-		if err := hm.Render(w); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, "\n"); err != nil {
-			return err
-		}
-	}
-	if contended == 0 {
-		_, err := fmt.Fprintf(w, "links %s: no contended links (%d simulated job(s), all single-node or untraced)\n",
-			id, len(jobs))
+	req, err := cfg.request([]string{id})
+	if err != nil {
 		return err
 	}
-	return nil
+	if err := serve.CheckFormat("links", req.Format); err != nil {
+		return err
+	}
+	return withOutput(cfg, func(w io.Writer) error {
+		return serve.WriteLinks(ctx, w, req)
+	})
 }

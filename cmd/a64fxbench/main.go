@@ -11,6 +11,7 @@
 //	a64fxbench trace <id>           export one experiment's event trace
 //	a64fxbench counters [id ...]    run with the virtual PMU, export counters
 //	a64fxbench diff <old> <new>     compare counter snapshots (regression gate)
+//	a64fxbench serve                run the sweep-as-a-service HTTP daemon
 //
 // Flags:
 //
@@ -158,6 +159,20 @@ var commands = []command{
 		},
 	},
 	cmdFunc{
+		name: "serve", synopsis: "serve",
+		describe: "run the sweep-as-a-service HTTP daemon (-addr, -j, -queue)",
+		run: func(ctx context.Context, cfg sweepConfig, _ []string) error {
+			return serveCmd(ctx, cfg)
+		},
+	},
+	cmdFunc{
+		name: "servebench", synopsis: "servebench [baseline.json]",
+		describe: "load-test the serving layer; gate against a baseline snapshot (-o)",
+		run: func(_ context.Context, cfg sweepConfig, args []string) error {
+			return servebenchCmd(cfg, args)
+		},
+	},
+	cmdFunc{
 		name: "micro", synopsis: "micro [system]",
 		describe: "model-validation microbenchmarks",
 		run: func(_ context.Context, _ sweepConfig, args []string) error {
@@ -207,6 +222,8 @@ func main() {
 	outFile := flag.String("o", "", "write trace/links/counters output to FILE instead of stdout")
 	period := flag.Duration("period", 0, "counters: virtual-time sampling period (0 = default 100µs)")
 	tol := flag.Float64("tol", 0.01, "diff: relative tolerance for time and rate metrics")
+	addr := flag.String("addr", "127.0.0.1:7764", "serve: listen address")
+	queue := flag.Int("queue", 0, "serve: queued executions before 429 (0 = default 64)")
 	flag.Usage = usage
 	// Interleaved parsing: each Parse stops at the first non-flag token,
 	// so collect positionals one at a time and re-parse the remainder.
@@ -242,7 +259,7 @@ func main() {
 		quick: *quick, compare: *compare, format: *format,
 		jobs: *jobs, failFast: *failFast,
 		profile: *profile, congestion: *congestion, engine: eng, out: *outFile,
-		period: *period, tol: *tol,
+		period: *period, tol: *tol, addr: *addr, queue: *queue,
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
@@ -279,6 +296,8 @@ flags (accepted before or after the command):
              discrete-event core for very large rank counts; bit-identical results)
   -j N       run up to N experiments concurrently (0 = GOMAXPROCS)
   -failfast  cancel remaining experiments after the first failure
+  -addr A    serve: listen address (default 127.0.0.1:7764)
+  -queue N   serve: queued executions before 429 (0 = default 64)
 `)
 }
 

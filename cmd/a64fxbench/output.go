@@ -6,10 +6,13 @@ import (
 )
 
 // withOutput runs fn against the -o file (created fresh) or stdout when
-// no file was given. The file is closed after fn; a write error wins
-// over the close error. Every exporting command (trace, links,
-// counters) funnels through this one helper.
-func withOutput(cfg sweepConfig, fn func(w io.Writer) error) error {
+// no file was given. The file is closed via defer — so it is released
+// even if fn panics — and a write error from fn wins over the close
+// error, but a failed close on an otherwise clean run is still reported
+// (a buffered write that never hit the disk is a real failure). Every
+// exporting command (trace, links, counters, enginebench, servebench)
+// funnels through this one helper.
+func withOutput(cfg sweepConfig, fn func(w io.Writer) error) (err error) {
 	if cfg.out == "" {
 		return fn(os.Stdout)
 	}
@@ -17,9 +20,10 @@ func withOutput(cfg sweepConfig, fn func(w io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return fn(f)
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"a64fxbench/internal/serve"
+)
+
+// serveCmd runs the sweep-as-a-service daemon: a long-running HTTP/JSON
+// API over the unified core.Request descriptor. POST /v1/run, /v1/sweep,
+// /v1/trace, /v1/counters and /v1/links accept the same JSON request
+// body; GET /v1/healthz is the liveness probe and GET /metrics the
+// Prometheus exposition. -addr sets the listen address, -j the
+// concurrent execution limit, -queue the backlog before 429s. Ctrl-C
+// (or SIGINT) drains in-flight requests and exits cleanly.
+func serveCmd(ctx context.Context, cfg sweepConfig) error {
+	srv := serve.New(serve.Config{
+		Workers:       cfg.jobs,
+		MaxConcurrent: cfg.jobs,
+		QueueDepth:    cfg.queue,
+	})
+	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "a64fxbench serve: listening on http://%s (POST /v1/run /v1/sweep /v1/trace /v1/counters /v1/links; GET /v1/healthz /metrics)\n", cfg.addr)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "a64fxbench serve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/serve"
+)
+
+// TestServeBytesMatchCLI is the byte-identity gate of the unified
+// request API: for the same core.Request, the bytes the serve daemon's
+// /v1/run returns must be identical to what the CLI `run` command
+// writes to stdout. Both paths are exercised end to end — flags →
+// Request → executor on one side, JSON body → Request → executor on
+// the other.
+func TestServeBytesMatchCLI(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		cfg     sweepConfig
+		reqBody string
+	}{
+		{
+			"json",
+			sweepConfig{quick: true, format: "json"},
+			`{"ids":["table1"],"quick":true,"format":"json"}`,
+		},
+		{
+			"text compare",
+			sweepConfig{quick: true, format: "text", compare: true},
+			`{"ids":["table1"],"quick":true,"format":"text","compare":true}`,
+		},
+		{
+			"csv",
+			sweepConfig{quick: true, format: "csv"},
+			`{"ids":["table5"],"quick":true,"format":"csv"}`,
+		},
+	}
+	srv := serve.New(serve.Config{})
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := serveTestRequestIDs(tc.reqBody)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cli bytes.Buffer
+			if err := runSweep(context.Background(), &cli, io.Discard, req, tc.cfg); err != nil {
+				t.Fatalf("CLI run: %v", err)
+			}
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec,
+				httptest.NewRequest("POST", "/v1/run", strings.NewReader(tc.reqBody)))
+			if rec.Code != 200 {
+				t.Fatalf("/v1/run: %d %s", rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(cli.Bytes(), rec.Body.Bytes()) {
+				t.Fatalf("CLI and /v1/run bytes diverge for the same request:\nCLI:\n%s\nserve:\n%s",
+					cli.String(), rec.Body.String())
+			}
+		})
+	}
+}
+
+// serveTestRequestIDs pulls the ids out of a test-case JSON body so the
+// CLI side runs exactly the same experiments.
+func serveTestRequestIDs(body string) ([]string, error) {
+	var req struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		return nil, fmt.Errorf("test body: %w", err)
+	}
+	return req.IDs, nil
+}

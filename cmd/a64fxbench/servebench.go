@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"a64fxbench/internal/serve"
+)
+
+// servebench scenario constants: pinned so snapshots taken on different
+// days are comparable. 1000 fully-concurrent identical cached queries
+// is the acceptance floor of the serving layer.
+const (
+	serveBenchRequests = 1000
+	serveBenchBody     = `{"ids":["table1"],"quick":true,"format":"json"}`
+	serveBenchEndpoint = "/v1/run"
+	// serveBenchP99Budget is the absolute p99 latency budget in
+	// milliseconds written into every snapshot. Cached responses are a
+	// lock, a map lookup and a memcpy, so 250ms leaves two orders of
+	// magnitude of headroom for slow CI machines while still catching a
+	// serving-path catastrophe (a cache miss storm, lock convoy, or
+	// accidental re-execution).
+	serveBenchP99Budget = 250.0
+)
+
+// serveBenchSnapshot is the BENCH_serve.json schema. The regression
+// gates are machine-independent: non-429 errors must be zero, the cache
+// hit ratio must not fall below the baseline's (−0.01 slack), and p99
+// must stay under the absolute budget. Throughput is informational —
+// it tracks the host machine.
+type serveBenchSnapshot struct {
+	Scenario      string  `json:"scenario"`
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	Non429Errors  int     `json:"non429_errors"`
+	Errors429     int     `json:"errors_429"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	P99BudgetMS   float64 `json:"p99_budget_ms"`
+}
+
+// servebenchCmd load-tests the serving layer in-process: it warms the
+// response cache with one execution of the pinned request, then fires
+// 1000 concurrent identical queries at the handler and measures
+// latency, errors and the cache hit ratio. With a baseline snapshot
+// argument it becomes the CI regression gate. -o writes the new
+// snapshot (the file CI uploads and, when re-baselining, commits).
+func servebenchCmd(cfg sweepConfig, args []string) error {
+	srv := serve.New(serve.Config{Workers: cfg.jobs})
+	h := srv.Handler()
+
+	// Warm: the one real execution; everything after is a cache hit.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("POST", serveBenchEndpoint, strings.NewReader(serveBenchBody)))
+	if warm.Code != 200 {
+		return fmt.Errorf("servebench: warm-up request failed: %d %s", warm.Code, warm.Body.String())
+	}
+	wantBody := warm.Body.String()
+
+	type outcome struct {
+		code    int
+		latency time.Duration
+		match   bool
+	}
+	outcomes := make([]outcome, serveBenchRequests)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := range outcomes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			rec := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", serveBenchEndpoint, strings.NewReader(serveBenchBody)))
+			outcomes[i] = outcome{
+				code:    rec.Code,
+				latency: time.Since(t0),
+				match:   rec.Body.String() == wantBody,
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+
+	snap := serveBenchSnapshot{
+		Scenario: fmt.Sprintf("POST %s %s, cached, %d concurrent",
+			serveBenchEndpoint, serveBenchBody, serveBenchRequests),
+		Requests:    serveBenchRequests,
+		Concurrency: serveBenchRequests,
+		P99BudgetMS: serveBenchP99Budget,
+	}
+	lats := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.code == 429:
+			snap.Errors429++
+		case o.code != 200 || !o.match:
+			snap.Non429Errors++
+		}
+		lats = append(lats, o.latency.Seconds()*1000)
+	}
+	sort.Float64s(lats)
+	snap.P50MS = round2(percentile(lats, 0.50))
+	snap.P99MS = round2(percentile(lats, 0.99))
+	snap.ThroughputRPS = math.Round(float64(serveBenchRequests) / wall.Seconds())
+	snap.CacheHitRatio = math.Round(srv.Metrics().CacheHitRatio()*1e4) / 1e4
+
+	if err := withOutput(cfg, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "servebench: %d requests, %d concurrent: %d non-429 errors, %d×429, hit ratio %.4f, %.0f req/s, p50 %.2fms, p99 %.2fms (budget %.0fms)\n",
+		snap.Requests, snap.Concurrency, snap.Non429Errors, snap.Errors429,
+		snap.CacheHitRatio, snap.ThroughputRPS, snap.P50MS, snap.P99MS, snap.P99BudgetMS)
+
+	// Absolute gates, baseline or not.
+	if snap.Non429Errors > 0 {
+		return fmt.Errorf("servebench: %d non-429 errors (want 0)", snap.Non429Errors)
+	}
+	if snap.P99MS > snap.P99BudgetMS {
+		return fmt.Errorf("servebench: p99 %.2fms over the %.0fms budget", snap.P99MS, snap.P99BudgetMS)
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	base, err := loadServeBaseline(args[0])
+	if err != nil {
+		return err
+	}
+	if base.Scenario != snap.Scenario {
+		return fmt.Errorf("servebench: baseline scenario %q does not match %q; re-baseline with -o %s",
+			base.Scenario, snap.Scenario, args[0])
+	}
+	if snap.CacheHitRatio < base.CacheHitRatio-0.01 {
+		return fmt.Errorf("servebench: cache hit ratio regressed to %.4f, baseline %.4f",
+			snap.CacheHitRatio, base.CacheHitRatio)
+	}
+	if snap.P99MS > base.P99BudgetMS {
+		return fmt.Errorf("servebench: p99 %.2fms over the baseline budget %.0fms", snap.P99MS, base.P99BudgetMS)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: within baseline (hit ratio %.4f ≥ %.4f, p99 %.2fms ≤ %.0fms)\n",
+		snap.CacheHitRatio, base.CacheHitRatio-0.01, snap.P99MS, base.P99BudgetMS)
+	return nil
+}
+
+func loadServeBaseline(path string) (serveBenchSnapshot, error) {
+	var s serveBenchSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("servebench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("servebench: parsing baseline %s: %w", path, err)
+	}
+	if s.Requests <= 0 {
+		return s, fmt.Errorf("servebench: baseline %s has no requests field", path)
+	}
+	return s, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// round2 rounds to two decimals for stable snapshots.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"a64fxbench"
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/serve"
 	"a64fxbench/internal/sweep"
 )
 
@@ -34,6 +36,32 @@ type sweepConfig struct {
 	// tol is the diff command's relative tolerance for Time and Rate
 	// metrics.
 	tol float64
+	// addr is the serve command's listen address.
+	addr string
+	// queue is the serve command's queue depth before 429s.
+	queue int
+}
+
+// request assembles the unified, serializable request descriptor from
+// the flag set — the same core.Request the serve daemon decodes from
+// JSON, so a command line and a curl body run through identical
+// validation and execution paths.
+func (c sweepConfig) request(ids []string) (core.Request, error) {
+	return c.rawRequest(ids).Normalized()
+}
+
+// requestLenient skips the id-existence check: the sweep path wants
+// unknown ids to fail per-experiment, not abort the whole run.
+func (c sweepConfig) requestLenient(ids []string) (core.Request, error) {
+	return c.rawRequest(ids).NormalizedLenient()
+}
+
+func (c sweepConfig) rawRequest(ids []string) core.Request {
+	return core.Request{
+		IDs: ids, Quick: c.quick, Congestion: c.congestion,
+		Engine: string(c.engine), Format: c.format, Compare: c.compare,
+		PeriodNS: c.period.Nanoseconds(),
+	}
 }
 
 // runSweep executes the requested experiments on the concurrent sweep
@@ -42,23 +70,27 @@ type sweepConfig struct {
 // artifacts are still rendered, a partial-results summary goes to errw,
 // and a non-nil error makes the process exit non-zero.
 func runSweep(ctx context.Context, out, errw io.Writer, ids []string, cfg sweepConfig) error {
-	switch cfg.format {
-	case "text", "", "chart", "json", "csv":
-	default:
-		return fmt.Errorf("unknown format %q", cfg.format)
+	req, err := cfg.requestLenient(ids)
+	if err != nil {
+		return err
 	}
+	if err := serve.CheckFormat("sweep", req.Format); err != nil {
+		return err
+	}
+	opt, err := req.Options()
+	if err != nil {
+		return err
+	}
+	opt.Profile = cfg.profile
 	eng := sweep.New(cfg.jobs)
 	eng.FailFast = cfg.failFast
-	results := eng.Run(ctx, ids, a64fxbench.Options{
-		Quick: cfg.quick, Profile: cfg.profile, Congestion: cfg.congestion,
-		Engine: cfg.engine,
-	})
+	results := eng.Run(ctx, req.IDs, opt)
 
 	for _, r := range results {
 		if r.Err != nil {
 			continue
 		}
-		if err := renderArtifact(out, r.Artifact, cfg); err != nil {
+		if err := core.RenderArtifact(out, r.Artifact, req.Format, req.Compare); err != nil {
 			return err
 		}
 		if cfg.profile && len(r.Timeline) > 0 {
@@ -112,24 +144,4 @@ func cachedNote(r sweep.Result) string {
 		return "  (cached)"
 	}
 	return ""
-}
-
-// renderArtifact writes one artifact in the selected format.
-func renderArtifact(out io.Writer, art *a64fxbench.Artifact, cfg sweepConfig) error {
-	switch cfg.format {
-	case "json":
-		return art.WriteJSON(out)
-	case "csv":
-		return art.WriteCSV(out)
-	case "chart":
-		_, err := fmt.Fprintln(out, art.RenderChart())
-		return err
-	default: // "text", ""
-		if cfg.compare {
-			_, err := fmt.Fprintln(out, art.RenderComparison())
-			return err
-		}
-		_, err := fmt.Fprintln(out, art.Render())
-		return err
-	}
 }

@@ -2,14 +2,12 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 
-	"a64fxbench/internal/core"
 	"a64fxbench/internal/obs"
+	"a64fxbench/internal/serve"
 	"a64fxbench/internal/simmpi"
-	"a64fxbench/internal/sweep"
 )
 
 // traceExperiment runs one experiment with tracing enabled and exports
@@ -17,49 +15,19 @@ import (
 // -format=chrome writes a Perfetto-loadable trace-event file, and
 // -format=json writes the full analysis report (communication matrix,
 // roofline, critical path) per simulated job. -o redirects to a file.
+// The flags become a core.Request and run through the same executor the
+// serve daemon's /v1/trace uses.
 func traceExperiment(ctx context.Context, id string, cfg sweepConfig) error {
+	req, err := cfg.request([]string{id})
+	if err != nil {
+		return err
+	}
+	if err := serve.CheckFormat("trace", req.Format); err != nil {
+		return err
+	}
 	return withOutput(cfg, func(w io.Writer) error {
-		return writeTrace(ctx, w, id, cfg)
+		return serve.WriteTrace(ctx, w, req)
 	})
-}
-
-// writeTrace executes the traced run on the sweep engine and renders to w.
-func writeTrace(ctx context.Context, w io.Writer, id string, cfg sweepConfig) error {
-	var sink simmpi.TraceSink
-	mem := &simmpi.MemorySink{}
-	switch cfg.format {
-	case "text", "":
-		// Streams as the simulation runs; nothing is buffered.
-		sink = obs.NewTextSink(w)
-	case "chrome", "json":
-		sink = mem
-	default:
-		return fmt.Errorf("trace: unknown format %q (want text, chrome or json)", cfg.format)
-	}
-	eng := sweep.New(1)
-	eng.SinkFor = func(string) simmpi.TraceSink { return sink }
-	res := eng.Run(ctx, []string{id}, core.Options{Quick: cfg.quick, Congestion: cfg.congestion, Engine: cfg.engine})[0]
-	if res.Err != nil {
-		return res.Err
-	}
-	if sink != mem {
-		return sink.Close()
-	}
-	jobs := obs.SplitJobs(mem.Events)
-	if cfg.format == "chrome" {
-		return obs.WriteChrome(w, jobs)
-	}
-	reports := make([]*obs.Report, 0, len(jobs))
-	for _, jt := range jobs {
-		rep, err := obs.Analyze(jt, obs.A64FXPeaks(jt))
-		if err != nil {
-			return err
-		}
-		reports = append(reports, rep)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(reports)
 }
 
 // writeProfileSummary prints a compact observability digest of every

@@ -5,7 +5,6 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/fft"
-	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -51,12 +50,11 @@ type Config struct {
 	Cycles int
 	// Case is the workload; zero value means PaperTiN.
 	Case TiNCase
-	// Trace, when non-nil, receives the job's phase-annotated event
-	// timeline. Tracing never alters the simulated result.
-	Trace simmpi.TraceSink
-	// Counters enables the virtual PMU for every simulated job (see
-	// simmpi.JobConfig.Counters); nil disables it.
-	Counters *metrics.Config
+	// Instrumentation bundles the shared observability and
+	// network-pricing options (Trace, Congestion, Counters) every
+	// benchmark carries; see simmpi.Instrumentation. CASTEP runs on a
+	// single node, so Congestion never changes its results.
+	simmpi.Instrumentation
 	// Engine selects the simmpi execution substrate (goroutine-per-rank
 	// or discrete-event); engines are bit-identical in every result.
 	// Empty means the goroutine default.
@@ -154,11 +152,10 @@ func Run(cfg Config) (Result, error) {
 		Nodes:          1,
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
-		Sink:           cfg.Trace,
-		Counters:       cfg.Counters,
 		Engine:         cfg.Engine,
 		Label:          fmt.Sprintf("castep %s c=%d", sys.ID, procs),
 	}
+	cfg.Instrumentation.Apply(&job)
 
 	// The wavefunction transpose: each SCF cycle needs all-to-all
 	// communication of grid data among the band groups.

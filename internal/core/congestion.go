@@ -37,9 +37,11 @@ var _ = registerExt(&Experiment{
 			},
 		}
 		sys := arch.MustGet(arch.A64FX)
+		congested := opt.Instr()
+		congested.Congestion = true
 		for _, nodes := range nodeCounts {
 			free, err := hpcg.Run(hpcg.Config{
-				System: sys, Nodes: nodes, Iterations: iters, Trace: opt.Trace, Counters: opt.Counters, Engine: opt.Engine,
+				System: sys, Nodes: nodes, Iterations: iters, Instrumentation: opt.Instr(), Engine: opt.Engine,
 			})
 			if err != nil {
 				return nil, err
@@ -48,7 +50,7 @@ var _ = registerExt(&Experiment{
 			// and `trace` see its link events.
 			cong, err := hpcg.Run(hpcg.Config{
 				System: sys, Nodes: nodes, Iterations: iters,
-				Congestion: true, Trace: opt.Trace, Counters: opt.Counters, Engine: opt.Engine,
+				Instrumentation: congested, Engine: opt.Engine,
 			})
 			if err != nil {
 				return nil, err

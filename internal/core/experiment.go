@@ -73,6 +73,20 @@ type Options struct {
 	Engine simmpi.Engine
 }
 
+// Instrumentation is the shared observability/network-pricing bundle
+// (Trace, Congestion, Counters) that every benchmark Config embeds; the
+// alias re-exports simmpi.Instrumentation at the experiment layer so
+// callers construct one type whether they target a benchmark directly
+// or an experiment through Options.
+type Instrumentation = simmpi.Instrumentation
+
+// Instr projects the options onto the Instrumentation bundle the
+// benchmark Configs embed. Experiment Run functions pass it through
+// verbatim so every simulated job carries the sweep's instrumentation.
+func (o Options) Instr() Instrumentation {
+	return Instrumentation{Trace: o.Trace, Congestion: o.Congestion, Counters: o.Counters}
+}
+
 // OptionsKey is the comparable projection of Options onto the fields
 // that affect artifact contents — the correct cache/digest key.
 // Observability settings are deliberately excluded: traced and untraced

@@ -8,6 +8,32 @@ import (
 	"math"
 )
 
+// RenderArtifact writes one artifact in the named format — the single
+// rendering path shared by the CLI `run` command and the serve daemon's
+// /v1/run and /v1/sweep endpoints, which is what makes their bytes
+// provably identical for the same Request. Valid formats are "text"
+// (or ""), "chart", "json" and "csv"; compare applies to text only.
+func RenderArtifact(w io.Writer, a *Artifact, format string, compare bool) error {
+	switch format {
+	case "json":
+		return a.WriteJSON(w)
+	case "csv":
+		return a.WriteCSV(w)
+	case "chart":
+		_, err := fmt.Fprintln(w, a.RenderChart())
+		return err
+	case "text", "":
+		if compare {
+			_, err := fmt.Fprintln(w, a.RenderComparison())
+			return err
+		}
+		_, err := fmt.Fprintln(w, a.Render())
+		return err
+	default:
+		return fmt.Errorf("unknown artifact format %q (want text, chart, json or csv)", format)
+	}
+}
+
 // jsonCell is the export form of a Cell.
 type jsonCell struct {
 	Value *float64 `json:"value,omitempty"`

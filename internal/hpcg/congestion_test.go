@@ -11,12 +11,13 @@ import (
 // 2 iterations) that keeps these golden-gate tests fast while still
 // exercising halo exchange on every level.
 func quickCfg(nodes int, congestion bool) hpcg.Config {
-	return hpcg.Config{
+	cfg := hpcg.Config{
 		System: arch.MustGet(arch.A64FX),
 		Nodes:  nodes, NX: 16, NY: 16, NZ: 16,
 		Levels: 2, Iterations: 2,
-		Congestion: congestion,
 	}
+	cfg.Congestion = congestion
+	return cfg
 }
 
 // TestCongestionSlowsMultiNodeHPCG is the golden gate for the contention

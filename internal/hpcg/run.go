@@ -5,7 +5,6 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
-	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/sparse"
@@ -31,15 +30,10 @@ type Config struct {
 	// Optimised selects the vendor-optimised kernel variant of
 	// Table III (Intel-optimised on NGIO, Arm-optimised on Fulhame).
 	Optimised bool
-	// Trace, when non-nil, receives the job's phase-annotated event
-	// timeline. Tracing never alters the simulated result.
-	Trace simmpi.TraceSink
-	// Counters enables the virtual PMU for every simulated job (see
-	// simmpi.JobConfig.Counters); nil disables it.
-	Counters *metrics.Config
-	// Congestion enables contention-aware interconnect pricing for
-	// multi-node runs (simmpi.JobConfig.Congestion).
-	Congestion bool
+	// Instrumentation bundles the shared observability and
+	// network-pricing options (Trace, Congestion, Counters) every
+	// benchmark carries; see simmpi.Instrumentation.
+	simmpi.Instrumentation
 	// Engine selects the simmpi execution substrate (goroutine-per-rank
 	// or discrete-event); engines are bit-identical in every result.
 	// Empty means the goroutine default.
@@ -199,12 +193,10 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: 1,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
-		Congestion:     cfg.Congestion,
 		Engine:         cfg.Engine,
-		Sink:           cfg.Trace,
-		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("hpcg %s n=%d %dx%dx%d", sys.ID, cfg.Nodes, cfg.NX, cfg.NY, cfg.NZ),
 	}
+	cfg.Instrumentation.Apply(&job)
 
 	levelName := make([]string, cfg.Levels)
 	for l := range levelName {

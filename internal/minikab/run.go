@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"a64fxbench/internal/arch"
-	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -51,15 +50,10 @@ type Config struct {
 	Iterations int
 	// Matrix is the workload; zero value means Benchmark1.
 	Matrix MatrixSpec
-	// Trace, when non-nil, receives the job's phase-annotated event
-	// timeline. Tracing never alters the simulated result.
-	Trace simmpi.TraceSink
-	// Counters enables the virtual PMU for every simulated job (see
-	// simmpi.JobConfig.Counters); nil disables it.
-	Counters *metrics.Config
-	// Congestion enables contention-aware interconnect pricing for
-	// multi-node runs (simmpi.JobConfig.Congestion).
-	Congestion bool
+	// Instrumentation bundles the shared observability and
+	// network-pricing options (Trace, Congestion, Counters) every
+	// benchmark carries; see simmpi.Instrumentation.
+	simmpi.Instrumentation
 	// Engine selects the simmpi execution substrate (goroutine-per-rank
 	// or discrete-event); engines are bit-identical in every result.
 	// Empty means the goroutine default.
@@ -189,12 +183,10 @@ func Run(cfg Config) (Result, error) {
 		ThreadsPerRank: cfg.ThreadsPerRank,
 		RankModel:      func(int) *perfmodel.CostModel { return model },
 		Fabric:         sys.NewFabric(cfg.Nodes),
-		Congestion:     cfg.Congestion,
 		Engine:         cfg.Engine,
-		Sink:           cfg.Trace,
-		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("minikab %s n=%d r=%d t=%d", sys.ID, cfg.Nodes, cfg.RanksPerNode, cfg.ThreadsPerRank),
 	}
+	cfg.Instrumentation.Apply(&job)
 
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {
 		const tagHalo = 11

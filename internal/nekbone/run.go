@@ -5,7 +5,6 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
-	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -31,15 +30,10 @@ type Config struct {
 	// FastMath enables the aggressive-compiler mode (-Kfast; Table VI's
 	// "fast math" column).
 	FastMath bool
-	// Trace, when non-nil, receives the job's phase-annotated event
-	// timeline. Tracing never alters the simulated result.
-	Trace simmpi.TraceSink
-	// Counters enables the virtual PMU for every simulated job (see
-	// simmpi.JobConfig.Counters); nil disables it.
-	Counters *metrics.Config
-	// Congestion enables contention-aware interconnect pricing for
-	// multi-node runs (simmpi.JobConfig.Congestion).
-	Congestion bool
+	// Instrumentation bundles the shared observability and
+	// network-pricing options (Trace, Congestion, Counters) every
+	// benchmark carries; see simmpi.Instrumentation.
+	simmpi.Instrumentation
 	// Engine selects the simmpi execution substrate (goroutine-per-rank
 	// or discrete-event); engines are bit-identical in every result.
 	// Empty means the goroutine default.
@@ -160,12 +154,10 @@ func RunWithNoise(cfg Config, noiseProb float64, noiseDur units.Duration) (Resul
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      noiseProb,
 		NoiseDuration:  noiseDur,
-		Congestion:     cfg.Congestion,
 		Engine:         cfg.Engine,
-		Sink:           cfg.Trace,
-		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("nekbone %s n=%d c=%d", sys.ID, cfg.Nodes, cfg.CoresPerNode),
 	}
+	cfg.Instrumentation.Apply(&job)
 
 	haloBytes := units.Bytes(facePoints * 8)
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {

@@ -83,9 +83,9 @@ func TestCriticalPathHPCGMultiNode(t *testing.T) {
 		System: arch.MustGet(arch.A64FX),
 		Nodes:  2,
 		NX:     8, NY: 8, NZ: 8,
-		Levels:     2,
-		Iterations: 3,
-		Trace:      sink,
+		Levels:          2,
+		Iterations:      3,
+		Instrumentation: simmpi.Instrumentation{Trace: sink},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestCriticalPathNekboneMultiNode(t *testing.T) {
 		ElementsPerRank: 4,
 		Order:           4,
 		Iterations:      10,
-		Trace:           sink,
+		Instrumentation: simmpi.Instrumentation{Trace: sink},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/decomp"
-	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/units"
@@ -36,15 +35,10 @@ type Config struct {
 	Nodes int
 	// Case is the workload; zero value means PaperCase.
 	Case Case
-	// Trace, when non-nil, receives the job's phase-annotated event
-	// timeline. Tracing never alters the simulated result.
-	Trace simmpi.TraceSink
-	// Counters enables the virtual PMU for every simulated job (see
-	// simmpi.JobConfig.Counters); nil disables it.
-	Counters *metrics.Config
-	// Congestion enables contention-aware interconnect pricing for
-	// multi-node runs (simmpi.JobConfig.Congestion).
-	Congestion bool
+	// Instrumentation bundles the shared observability and
+	// network-pricing options (Trace, Congestion, Counters) every
+	// benchmark carries; see simmpi.Instrumentation.
+	simmpi.Instrumentation
 	// Engine selects the simmpi execution substrate (goroutine-per-rank
 	// or discrete-event); engines are bit-identical in every result.
 	// Empty means the goroutine default.
@@ -125,12 +119,10 @@ func Run(cfg Config) (Result, error) {
 		Fabric:         sys.NewFabric(cfg.Nodes),
 		NoiseProb:      1e-5,
 		NoiseDuration:  units.Duration(30 * units.Millisecond),
-		Congestion:     cfg.Congestion,
 		Engine:         cfg.Engine,
-		Sink:           cfg.Trace,
-		Counters:       cfg.Counters,
 		Label:          fmt.Sprintf("opensbli %s n=%d g=%d", sys.ID, cfg.Nodes, tc.Grid),
 	}
+	cfg.Instrumentation.Apply(&job)
 
 	stageName := [3]string{"rk3-stage-0", "rk3-stage-1", "rk3-stage-2"}
 	rep, err := simmpi.Run(job, func(r *simmpi.Rank) error {

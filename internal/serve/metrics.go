@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the fixed histogram bucket upper bounds in seconds,
+// the classic Prometheus default ladder.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numBuckets is len(latencyBuckets) plus the +Inf overflow bucket.
+const numBuckets = 14
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [numBuckets]uint64 // last bucket is +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// Metrics is the daemon's self-instrumentation: request counts by
+// endpoint and status code, response-cache and singleflight hit
+// counters, queue/inflight gauges and per-endpoint latency histograms.
+// All methods are safe for concurrent use. WritePrometheus renders the
+// whole set in the Prometheus text exposition format, hand-rolled
+// because the module takes no dependencies.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]uint64 // endpoint → code → count
+	latency   map[string]*histogram     // endpoint → histogram
+	cacheHits uint64
+	cacheMiss uint64
+	coalesced uint64
+	rejected  uint64
+	inflight  int64
+	queued    int64
+
+	// gauges sampled at scrape time, installed by the server
+	queueCapacity int
+	cachedEntries func() int
+	started       time.Time
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*histogram),
+		started:  time.Now(),
+	}
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latency[endpoint] = h
+	}
+	h.observe(d.Seconds())
+	if code == 429 {
+		m.rejected++
+	}
+}
+
+// CacheHit / CacheMiss / Coalesced record response-cache and
+// singleflight outcomes for cacheable endpoints.
+func (m *Metrics) CacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) CacheMiss() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+func (m *Metrics) Coalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+// AddInflight / AddQueued move the execution gauges.
+func (m *Metrics) AddInflight(d int64) { m.mu.Lock(); m.inflight += d; m.mu.Unlock() }
+func (m *Metrics) AddQueued(d int64)   { m.mu.Lock(); m.queued += d; m.mu.Unlock() }
+
+// Inflight returns the number of executions currently running.
+func (m *Metrics) Inflight() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.inflight }
+
+// Queued returns the number of executions waiting for a slot.
+func (m *Metrics) Queued() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.queued }
+
+// CacheHitRatio returns hits / (hits + misses), 0 when nothing has been
+// looked up yet. Singleflight joins count as neither: they are their
+// own metric.
+func (m *Metrics) CacheHitRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.cacheHits + m.cacheMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(m.cacheHits) / float64(total)
+}
+
+// Requests returns the total request count for an endpoint ("" sums all
+// endpoints), optionally filtered to one status code (0 sums all).
+func (m *Metrics) Requests(endpoint string, code int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for ep, byCode := range m.requests {
+		if endpoint != "" && ep != endpoint {
+			continue
+		}
+		for c, v := range byCode {
+			if code != 0 && c != code {
+				continue
+			}
+			n += v
+		}
+	}
+	return n
+}
+
+// WritePrometheus renders every metric in the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b []byte
+	p := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	p("# HELP a64fxbench_serve_requests_total Completed HTTP requests by endpoint and status code.\n")
+	p("# TYPE a64fxbench_serve_requests_total counter\n")
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			p("a64fxbench_serve_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	p("# HELP a64fxbench_serve_cache_hits_total Response-cache hits on cacheable endpoints.\n")
+	p("# TYPE a64fxbench_serve_cache_hits_total counter\n")
+	p("a64fxbench_serve_cache_hits_total %d\n", m.cacheHits)
+	p("# HELP a64fxbench_serve_cache_misses_total Response-cache misses on cacheable endpoints.\n")
+	p("# TYPE a64fxbench_serve_cache_misses_total counter\n")
+	p("a64fxbench_serve_cache_misses_total %d\n", m.cacheMiss)
+	ratio := 0.0
+	if t := m.cacheHits + m.cacheMiss; t > 0 {
+		ratio = float64(m.cacheHits) / float64(t)
+	}
+	p("# HELP a64fxbench_serve_cache_hit_ratio Hits over lookups since start.\n")
+	p("# TYPE a64fxbench_serve_cache_hit_ratio gauge\n")
+	p("a64fxbench_serve_cache_hit_ratio %g\n", ratio)
+	p("# HELP a64fxbench_serve_flight_coalesced_total Requests that joined an identical in-flight execution.\n")
+	p("# TYPE a64fxbench_serve_flight_coalesced_total counter\n")
+	p("a64fxbench_serve_flight_coalesced_total %d\n", m.coalesced)
+	p("# HELP a64fxbench_serve_rejected_total Requests rejected with 429 by queue backpressure.\n")
+	p("# TYPE a64fxbench_serve_rejected_total counter\n")
+	p("a64fxbench_serve_rejected_total %d\n", m.rejected)
+
+	p("# HELP a64fxbench_serve_inflight Executions currently running.\n")
+	p("# TYPE a64fxbench_serve_inflight gauge\n")
+	p("a64fxbench_serve_inflight %d\n", m.inflight)
+	p("# HELP a64fxbench_serve_queue_depth Executions admitted and waiting for a worker slot.\n")
+	p("# TYPE a64fxbench_serve_queue_depth gauge\n")
+	p("a64fxbench_serve_queue_depth %d\n", m.queued)
+	p("# HELP a64fxbench_serve_queue_capacity Maximum queued executions before 429.\n")
+	p("# TYPE a64fxbench_serve_queue_capacity gauge\n")
+	p("a64fxbench_serve_queue_capacity %d\n", m.queueCapacity)
+	if m.cachedEntries != nil {
+		p("# HELP a64fxbench_serve_cached_responses Entries in the response cache.\n")
+		p("# TYPE a64fxbench_serve_cached_responses gauge\n")
+		p("a64fxbench_serve_cached_responses %d\n", m.cachedEntries())
+	}
+	p("# HELP a64fxbench_serve_uptime_seconds Seconds since the server started.\n")
+	p("# TYPE a64fxbench_serve_uptime_seconds gauge\n")
+	p("a64fxbench_serve_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	p("# HELP a64fxbench_serve_request_seconds Request latency by endpoint.\n")
+	p("# TYPE a64fxbench_serve_request_seconds histogram\n")
+	eps := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		h := m.latency[ep]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			p("a64fxbench_serve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		p("a64fxbench_serve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
+		p("a64fxbench_serve_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		p("a64fxbench_serve_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"a64fxbench/internal/core"
+	"a64fxbench/internal/sweep"
+)
+
+// StatusClientClosedRequest is the (nginx-convention) status recorded
+// when the client hangs up before its execution starts; there is nobody
+// left to read the body, but the code keeps the metrics honest.
+const StatusClientClosedRequest = 499
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds each execution's internal sweep concurrency
+	// (≤ 0 means GOMAXPROCS).
+	Workers int
+	// MaxConcurrent is the number of request executions allowed to run
+	// simultaneously (≤ 0 means GOMAXPROCS). Cache hits and coalesced
+	// singleflight joins do not consume an execution.
+	MaxConcurrent int
+	// QueueDepth is how many admitted executions may wait for a free
+	// execution slot before new work is rejected with 429 (≤ 0 means 64).
+	QueueDepth int
+	// CacheEntries caps the response cache, evicting oldest-first
+	// (≤ 0 means 4096).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// response is one materialized HTTP answer: what the cache stores and
+// the singleflight group shares between coalesced requests.
+type response struct {
+	status      int
+	contentType string
+	retryAfter  int // seconds; 429 only
+	body        []byte
+}
+
+// Server is the sweep-as-a-service daemon: five POST /v1/* operation
+// endpoints over core.Request, plus /v1/healthz and /metrics. Responses
+// for identical normalized requests are served from a digest-keyed
+// cache; identical requests in flight are computed once (singleflight);
+// executions beyond MaxConcurrent queue up to QueueDepth deep and are
+// rejected with 429 + Retry-After past that.
+type Server struct {
+	cfg    Config
+	eng    *sweep.Engine
+	flight *flightGroup
+	met    *Metrics
+	mux    *http.ServeMux
+
+	sem   chan struct{} // running executions, cap MaxConcurrent
+	slots chan struct{} // running + queued, cap MaxConcurrent + QueueDepth
+
+	cacheMu sync.Mutex
+	cache   map[string]*response
+	order   []string // insertion order for oldest-first eviction
+}
+
+// New builds a Server. The artifact-level sweep engine (and with it the
+// run/sweep artifact cache) is shared across all requests for the
+// server's lifetime.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		eng:    sweep.New(cfg.Workers),
+		flight: newFlightGroup(),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		slots:  make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		cache:  make(map[string]*response),
+	}
+	s.met.queueCapacity = cfg.QueueDepth
+	s.met.cachedEntries = func() int {
+		s.cacheMu.Lock()
+		defer s.cacheMu.Unlock()
+		return len(s.cache)
+	}
+	for _, op := range []string{"run", "sweep", "trace", "counters", "links"} {
+		s.mux.HandleFunc("/v1/"+op, s.opHandler(op))
+	}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's instrumentation (tests, servebench).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// cacheGet / cachePut implement the digest-keyed response cache. Only
+// 200s are stored (the caller enforces that), so errors and rejections
+// are always recomputed.
+func (s *Server) cacheGet(key string) (*response, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	r, ok := s.cache[key]
+	return r, ok
+}
+
+func (s *Server) cachePut(key string, r *response) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if _, dup := s.cache[key]; dup {
+		return
+	}
+	for len(s.cache) >= s.cfg.CacheEntries && len(s.order) > 0 {
+		delete(s.cache, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.cache[key] = r
+	s.order = append(s.order, key)
+}
+
+// opHandler wraps one operation endpoint with latency/status metrics.
+func (s *Server) opHandler(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := s.serveOp(op, w, r)
+		s.met.Observe("/v1/"+op, code, time.Since(start))
+	}
+}
+
+// serveOp is the request path every operation endpoint shares:
+// strict-decode → validate arity and format → response cache →
+// singleflight → bounded-queue execution.
+func (s *Server) serveOp(op string, w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("%s: use POST with a JSON request body", op))
+	}
+	req, err := core.DecodeRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if err := checkArity(op, req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if err := CheckFormat(op, req.Format); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+
+	key := op + ":" + req.Digest()
+	if resp, ok := s.cacheGet(key); ok {
+		s.met.CacheHit()
+		return writeResponse(w, resp, "hit")
+	}
+	s.met.CacheMiss()
+
+	resp, shared, err := s.flight.Do(r.Context(), key,
+		func(ctx context.Context) *response { return s.execute(ctx, op, req) },
+		func(resp *response) {
+			if resp.status == http.StatusOK {
+				s.cachePut(key, resp)
+			}
+		})
+	if err != nil {
+		// The client went away while waiting; nothing to write.
+		return StatusClientClosedRequest
+	}
+	xc := "miss"
+	if shared {
+		s.met.Coalesced()
+		xc = "coalesced"
+	}
+	return writeResponse(w, resp, xc)
+}
+
+// execute runs one operation under admission control. The slots channel
+// is the total budget (running + queued): failing to take a slot
+// without blocking is the backpressure signal. The sem channel is the
+// execution budget; waiting on it is the queue, and the wait honors the
+// flight context so abandoned work is torn down.
+func (s *Server) execute(ctx context.Context, op string, req core.Request) *response {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// Full house: every execution slot busy and the queue at
+		// capacity. Retry-After is the queue drain horizon, crudely:
+		// one second per queued execution per worker, at least 1.
+		ra := 1 + s.cfg.QueueDepth/s.cfg.MaxConcurrent
+		return &response{
+			status:      http.StatusTooManyRequests,
+			contentType: "application/json",
+			retryAfter:  ra,
+			body:        errBody(fmt.Errorf("%s: server saturated (%d running, %d queued); retry later", op, s.cfg.MaxConcurrent, s.cfg.QueueDepth)),
+		}
+	}
+	defer func() { <-s.slots }()
+
+	s.met.AddQueued(1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.met.AddQueued(-1)
+		return &response{status: StatusClientClosedRequest, contentType: "application/json",
+			body: errBody(fmt.Errorf("%s: abandoned while queued", op))}
+	}
+	s.met.AddQueued(-1)
+	s.met.AddInflight(1)
+	defer func() {
+		<-s.sem
+		s.met.AddInflight(-1)
+	}()
+
+	var buf bytes.Buffer
+	var err error
+	switch op {
+	case "run", "sweep":
+		err = WriteRun(ctx, &buf, s.eng, req)
+	case "trace":
+		err = WriteTrace(ctx, &buf, req)
+	case "links":
+		err = WriteLinks(ctx, &buf, req)
+	case "counters":
+		err = WriteCounters(ctx, &buf, req, s.cfg.Workers)
+	default:
+		err = fmt.Errorf("unknown operation %q", op)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return &response{status: StatusClientClosedRequest, contentType: "application/json",
+				body: errBody(ctx.Err())}
+		}
+		return &response{status: http.StatusInternalServerError,
+			contentType: "application/json", body: errBody(err)}
+	}
+	return &response{status: http.StatusOK,
+		contentType: contentTypeFor(op, req.Format), body: buf.Bytes()}
+}
+
+// checkArity enforces per-operation id counts: run, trace and links
+// address exactly one experiment; sweep and counters take any number.
+func checkArity(op string, req core.Request) error {
+	switch op {
+	case "run", "trace", "links":
+		if len(req.IDs) != 1 {
+			return fmt.Errorf("%s: exactly one experiment id required, got %d", op, len(req.IDs))
+		}
+	}
+	return nil
+}
+
+// opFormats lists the valid formats per operation (first is the default).
+var opFormats = map[string][]string{
+	"run":      {"text", "chart", "json", "csv"},
+	"sweep":    {"text", "chart", "json", "csv"},
+	"trace":    {"text", "chrome", "json"},
+	"links":    {"text", "json"},
+	"counters": {"text", "json", "csv"},
+}
+
+// CheckFormat rejects formats the operation cannot render, so the error
+// surfaces as a 400 before any work is queued.
+func CheckFormat(op, format string) error {
+	for _, f := range opFormats[op] {
+		if format == f || format == "" {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: unknown format %q (want %v)", op, format, opFormats[op])
+}
+
+// contentTypeFor maps an operation+format to the response media type.
+func contentTypeFor(op, format string) string {
+	switch format {
+	case "json", "chrome":
+		return "application/json"
+	case "csv":
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// writeResponse emits a materialized response with its cache-state
+// header and returns the status code for metrics.
+func writeResponse(w http.ResponseWriter, resp *response, xcache string) int {
+	w.Header().Set("Content-Type", resp.contentType)
+	w.Header().Set("X-Cache", xcache)
+	if resp.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", resp.retryAfter))
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+	return resp.status
+}
+
+// writeError emits a JSON error body and returns the status code.
+func writeError(w http.ResponseWriter, status int, err error) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errBody(err))
+	return status
+}
+
+// errBody is the uniform JSON error envelope.
+func errBody(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return append(b, '\n')
+}
+
+// handleHealthz reports liveness plus the registry sizes, so a probe
+// also verifies the experiment tables linked in.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		code := writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("healthz: use GET"))
+		s.met.Observe("/v1/healthz", code, time.Since(start))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(map[string]any{
+		"status":      "ok",
+		"experiments": len(core.List()),
+		"extensions":  len(core.Extensions()),
+		"uptime_s":    time.Since(s.met.started).Seconds(),
+	})
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodGet {
+		w.Write(append(body, '\n'))
+	}
+	s.met.Observe("/v1/healthz", http.StatusOK, time.Since(start))
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("metrics: use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w)
+}

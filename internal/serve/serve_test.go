@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"a64fxbench/internal/core"
+)
+
+// The test extension: a registry-resident experiment whose executions
+// can be counted and blocked, which is what lets these tests observe
+// singleflight coalescing and fill the execution queue on demand.
+var (
+	extRuns int64 // atomic: total Run invocations
+	extMu   sync.Mutex
+	extGate chan struct{} // non-nil: Run blocks until it is closed
+)
+
+// holdExtension makes every subsequent test-extension run block until
+// the returned release function is called.
+func holdExtension() (release func()) {
+	gate := make(chan struct{})
+	extMu.Lock()
+	extGate = gate
+	extMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			extMu.Lock()
+			extGate = nil
+			extMu.Unlock()
+			close(gate)
+		})
+	}
+}
+
+func init() {
+	err := core.RegisterExtension(&core.Experiment{
+		ID: "srvtest", Title: "serve test extension", Kind: core.Table,
+		Description: "counts and optionally blocks executions (test only)",
+		Run: func(opt core.Options) (*core.Artifact, error) {
+			atomic.AddInt64(&extRuns, 1)
+			extMu.Lock()
+			gate := extGate
+			extMu.Unlock()
+			if gate != nil {
+				<-gate
+			}
+			return &core.Artifact{
+				ID: "srvtest", Title: "serve test extension", Kind: core.Table,
+				Columns: []string{"runs"}, RowLabels: []string{"total"},
+				Cells: [][]core.Cell{{{Value: 1}}},
+			}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// post drives one request through the handler in process.
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", path, strings.NewReader(body)))
+	return rec
+}
+
+func TestEndpointTable(t *testing.T) {
+	t.Parallel()
+	srv := New(Config{})
+	h := srv.Handler()
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantType                 string // Content-Type prefix, "" = skip
+		wantBody                 string // substring, "" = skip
+	}{
+		{"run ok", "POST", "/v1/run", `{"ids":["table1"],"quick":true,"format":"json"}`, 200, "application/json", `"table1"`},
+		{"run text", "POST", "/v1/run", `{"ids":["table1"],"quick":true}`, 200, "text/plain", "TABLE1"},
+		{"sweep ok", "POST", "/v1/sweep", `{"ids":["table1","table2"],"quick":true,"format":"json"}`, 200, "application/json", `"table2"`},
+		{"trace ok", "POST", "/v1/trace", `{"ids":["srvtest"],"quick":true}`, 200, "text/plain", ""},
+		{"counters ok", "POST", "/v1/counters", `{"ids":["table2"],"quick":true,"format":"json"}`, 200, "application/json", "schema"},
+		{"links ok", "POST", "/v1/links", `{"ids":["table2"],"quick":true}`, 200, "text/plain", "links"},
+		{"run two ids", "POST", "/v1/run", `{"ids":["table1","table2"]}`, 400, "application/json", "exactly one"},
+		{"trace two ids", "POST", "/v1/trace", `{"ids":["table1","table2"]}`, 400, "application/json", "exactly one"},
+		{"links two ids", "POST", "/v1/links", `{"ids":["table1","table2"]}`, 400, "application/json", "exactly one"},
+		{"bad json", "POST", "/v1/run", `{"ids":`, 400, "application/json", "error"},
+		{"unknown field", "POST", "/v1/run", `{"ids":["table1"],"quik":true}`, 400, "application/json", "quik"},
+		{"unknown id", "POST", "/v1/run", `{"ids":["nope"]}`, 400, "application/json", "table1"},
+		{"no ids", "POST", "/v1/sweep", `{}`, 400, "application/json", "no experiment ids"},
+		{"bad format", "POST", "/v1/run", `{"ids":["table1"],"format":"xml"}`, 400, "application/json", "xml"},
+		{"trace bad format", "POST", "/v1/trace", `{"ids":["table1"],"format":"chart"}`, 400, "application/json", "chart"},
+		{"run GET", "GET", "/v1/run", "", 405, "application/json", "POST"},
+		{"healthz", "GET", "/v1/healthz", "", 200, "application/json", `"ok"`},
+		{"healthz POST", "POST", "/v1/healthz", "", 405, "application/json", "GET"},
+		{"metrics", "GET", "/metrics", "", 200, "text/plain", "a64fxbench_serve_requests_total"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body)))
+			if rec.Code != tc.wantCode {
+				t.Fatalf("%s %s: code %d, want %d (body %s)", tc.method, tc.path, rec.Code, tc.wantCode, rec.Body.String())
+			}
+			if tc.wantType != "" && !strings.HasPrefix(rec.Header().Get("Content-Type"), tc.wantType) {
+				t.Fatalf("Content-Type %q, want prefix %q", rec.Header().Get("Content-Type"), tc.wantType)
+			}
+			if tc.wantBody != "" && !strings.Contains(rec.Body.String(), tc.wantBody) {
+				t.Fatalf("body %q does not contain %q", rec.Body.String(), tc.wantBody)
+			}
+		})
+	}
+}
+
+func TestResponseCacheAndHeaders(t *testing.T) {
+	t.Parallel()
+	srv := New(Config{})
+	h := srv.Handler()
+	body := `{"ids":["table1"],"quick":true,"format":"json"}`
+
+	first := post(h, "/v1/run", body)
+	if first.Code != 200 || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request: code %d, X-Cache %q; want 200 miss", first.Code, first.Header().Get("X-Cache"))
+	}
+	second := post(h, "/v1/run", body)
+	if second.Code != 200 || second.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request: code %d, X-Cache %q; want 200 hit", second.Code, second.Header().Get("X-Cache"))
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached response bytes differ from the original")
+	}
+	// A semantically identical but differently-spelled request hits too:
+	// the digest is computed on the normalized form.
+	third := post(h, "/v1/run", `{"ids":[" TABLE1 "],"quick":true,"format":"json"}`)
+	if third.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("normalized-equal request: X-Cache %q, want hit", third.Header().Get("X-Cache"))
+	}
+	if ratio := srv.Metrics().CacheHitRatio(); ratio <= 0 {
+		t.Fatalf("cache hit ratio %v, want > 0", ratio)
+	}
+	// The same digest on a different endpoint is a different cache key.
+	sweepRec := post(h, "/v1/sweep", body)
+	if sweepRec.Code != 200 || sweepRec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("sweep with run's digest: code %d, X-Cache %q; want 200 miss", sweepRec.Code, sweepRec.Header().Get("X-Cache"))
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSingleflightCoalescesIdenticalRequests(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 4})
+	h := srv.Handler()
+	release := holdExtension()
+	defer release()
+	before := atomic.LoadInt64(&extRuns)
+
+	const n = 20
+	body := `{"ids":["srvtest"],"format":"json"}`
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(h, "/v1/run", body)
+		}(i)
+	}
+	// All n requests coalesce onto one execution, which is now blocked
+	// inside the extension.
+	waitFor(t, "the single execution to start", func() bool {
+		return atomic.LoadInt64(&extRuns) == before+1
+	})
+	waitFor(t, "all requests to join the flight", func() bool {
+		return srv.Metrics().Requests("/v1/run", 0) >= 0 && srv.Metrics().Inflight() == 1
+	})
+	release()
+	wg.Wait()
+
+	if got := atomic.LoadInt64(&extRuns) - before; got != 1 {
+		t.Fatalf("%d identical concurrent requests ran the experiment %d times, want exactly 1", n, got)
+	}
+	var miss, coalesced int
+	for i, rec := range recs {
+		if rec.Code != 200 {
+			t.Fatalf("request %d: code %d (body %s)", i, rec.Code, rec.Body.String())
+		}
+		switch xc := rec.Header().Get("X-Cache"); xc {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		case "hit":
+			// A request that arrived after the flight published.
+		default:
+			t.Fatalf("request %d: unexpected X-Cache %q", i, xc)
+		}
+		if rec.Body.String() != recs[0].Body.String() {
+			t.Fatalf("request %d: body diverged", i)
+		}
+	}
+	if miss != 1 {
+		t.Fatalf("%d leaders (X-Cache: miss), want exactly 1 (coalesced %d)", miss, coalesced)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	h := srv.Handler()
+	release := holdExtension()
+	defer release()
+
+	// Distinct digests (different formats) so nothing coalesces.
+	bodies := []string{
+		`{"ids":["srvtest"],"format":"text"}`,
+		`{"ids":["srvtest"],"format":"json"}`,
+	}
+	recs := make([]*httptest.ResponseRecorder, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			recs[i] = post(h, "/v1/run", b)
+		}(i, b)
+	}
+	waitFor(t, "one running and one queued execution", func() bool {
+		return srv.Metrics().Inflight() == 1 && srv.Metrics().Queued() == 1
+	})
+
+	// Slots are exhausted (1 running + 1 queued): the next distinct
+	// request must be rejected immediately with 429 + Retry-After.
+	rejected := post(h, "/v1/run", `{"ids":["srvtest"],"format":"csv"}`)
+	if rejected.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429 (body %s)", rejected.Code, rejected.Body.String())
+	}
+	if ra := rejected.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 response has no Retry-After header")
+	}
+	if xc := rejected.Header().Get("X-Cache"); xc != "miss" {
+		t.Fatalf("429 X-Cache %q, want miss", xc)
+	}
+
+	release()
+	wg.Wait()
+	for i, rec := range recs {
+		if rec.Code != 200 {
+			t.Fatalf("admitted request %d: code %d (body %s)", i, rec.Code, rec.Body.String())
+		}
+	}
+	// Rejections are never cached: the same request succeeds afterwards.
+	retry := post(h, "/v1/run", `{"ids":["srvtest"],"format":"csv"}`)
+	if retry.Code != 200 {
+		t.Fatalf("retry after 429: code %d, want 200", retry.Code)
+	}
+	if srv.Metrics().Requests("/v1/run", 429) != 1 {
+		t.Fatalf("429 count %d, want 1", srv.Metrics().Requests("/v1/run", 429))
+	}
+}
+
+func TestQueuedRequestCancellation(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 2})
+	h := srv.Handler()
+	release := holdExtension()
+	defer release()
+	before := atomic.LoadInt64(&extRuns)
+
+	// A occupies the one execution slot.
+	var wg sync.WaitGroup
+	var aRec *httptest.ResponseRecorder
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		aRec = post(h, "/v1/run", `{"ids":["srvtest"],"format":"text"}`)
+	}()
+	waitFor(t, "A to start", func() bool { return srv.Metrics().Inflight() == 1 })
+
+	// B queues behind A, then its client hangs up.
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan struct{})
+	go func() {
+		defer close(bDone)
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(`{"ids":["srvtest"],"format":"json"}`))
+		h.ServeHTTP(rec, req.WithContext(ctx))
+	}()
+	waitFor(t, "B to queue", func() bool { return srv.Metrics().Queued() == 1 })
+	cancel()
+	select {
+	case <-bDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled queued request did not return")
+	}
+	waitFor(t, "B's abandoned execution to drain", func() bool {
+		return srv.Metrics().Queued() == 0
+	})
+	waitFor(t, "the 499 to be recorded", func() bool {
+		return srv.Metrics().Requests("/v1/run", StatusClientClosedRequest) == 1
+	})
+
+	release()
+	wg.Wait()
+	if aRec.Code != 200 {
+		t.Fatalf("A: code %d, want 200", aRec.Code)
+	}
+	// B never reached the extension: only A's execution ran.
+	if got := atomic.LoadInt64(&extRuns) - before; got != 1 {
+		t.Fatalf("extension ran %d times, want 1 (the cancelled request must not execute)", got)
+	}
+}
+
+func TestHealthzReportsRegistries(t *testing.T) {
+	t.Parallel()
+	srv := New(Config{})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	var body struct {
+		Status      string  `json:"status"`
+		Experiments int     `json:"experiments"`
+		Extensions  int     `json:"extensions"`
+		UptimeS     float64 `json:"uptime_s"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if body.Status != "ok" || body.Experiments != len(core.List()) || body.Extensions != len(core.Extensions()) {
+		t.Fatalf("healthz = %+v; want ok with %d experiments, %d extensions",
+			body, len(core.List()), len(core.Extensions()))
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	t.Parallel()
+	srv := New(Config{})
+	h := srv.Handler()
+	post(h, "/v1/run", `{"ids":["table2"],"quick":true,"format":"json"}`)
+	post(h, "/v1/run", `{"ids":["table2"],"quick":true,"format":"json"}`)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	for _, want := range []string{
+		`a64fxbench_serve_requests_total{endpoint="/v1/run",code="200"} 2`,
+		"a64fxbench_serve_cache_hits_total 1",
+		"a64fxbench_serve_cache_misses_total 1",
+		"a64fxbench_serve_cache_hit_ratio 0.5",
+		"a64fxbench_serve_queue_capacity",
+		"a64fxbench_serve_request_seconds_bucket",
+		`a64fxbench_serve_request_seconds_count{endpoint="/v1/run"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

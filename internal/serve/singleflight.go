@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent executions of the same request
+// digest. The first caller for a key becomes the leader: its work runs
+// in a dedicated goroutine under a context owned by the group, detached
+// from any single HTTP request, so the run survives the leader client
+// hanging up as long as at least one follower still wants the answer.
+// Waiter counts are tracked per key; when the last waiter abandons the
+// flight its context is cancelled and the computation is torn down.
+//
+// This is a hand-rolled stand-in for x/sync/singleflight (the module is
+// dependency-free), extended with the ref-counted cancellation that the
+// stock package lacks.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	cancel  context.CancelFunc
+	done    chan struct{}
+	waiters int
+	resp    *response
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns the response for key, executing fn in a group-owned
+// goroutine if no flight for key exists yet, or joining the existing
+// flight otherwise. publish runs exactly once per flight, before any
+// waiter is released — the server uses it to install the response in
+// the cache with no window in which a new request could relaunch the
+// work. shared reports whether the caller joined a flight started by
+// someone else. If ctx expires first, Do abandons the flight (the
+// computation keeps running for remaining waiters, or is cancelled if
+// this was the last one) and returns the context error.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) *response, publish func(*response)) (resp *response, shared bool, err error) {
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if !ok {
+		runCtx, cancel := context.WithCancel(context.Background())
+		c = &flightCall{cancel: cancel, done: make(chan struct{})}
+		g.calls[key] = c
+		go func() {
+			r := fn(runCtx)
+			g.mu.Lock()
+			c.resp = r
+			// Publish under the lock: by the time any later request
+			// misses the flight map, the cache already has the answer.
+			if publish != nil {
+				publish(r)
+			}
+			delete(g.calls, key)
+			g.mu.Unlock()
+			cancel()
+			close(c.done)
+		}()
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.resp, ok, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		abandon := c.waiters == 0 && c.resp == nil
+		if abandon && g.calls[key] == c {
+			// Last waiter gone and the computation hasn't finished:
+			// tear it down and clear the slot so a future request
+			// starts fresh instead of joining a cancelled corpse.
+			// (Guard against deleting a successor flight for the
+			// same key.)
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		if abandon {
+			c.cancel()
+		}
+		return nil, ok, ctx.Err()
+	}
+}

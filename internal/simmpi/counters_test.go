@@ -222,7 +222,7 @@ func TestNekboneCountersDeterministic(t *testing.T) {
 		res, err := nekbone.Run(nekbone.Config{
 			System: arch.MustGet(arch.A64FX), Nodes: 4,
 			ElementsPerRank: 8, Order: 4, Iterations: 12,
-			Counters: &metrics.Config{Period: 50 * units.Microsecond, MaxSamples: 16},
+			Instrumentation: simmpi.Instrumentation{Counters: &metrics.Config{Period: 50 * units.Microsecond, MaxSamples: 16}},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,36 @@
+package simmpi
+
+import "a64fxbench/internal/metrics"
+
+// Instrumentation bundles the per-run observability and network-pricing
+// options that every benchmark Config embeds. Before it existed, each of
+// the six benchmark packages hand-copied the same three fields
+// (Trace/Congestion/Counters) and threaded them into JobConfig
+// individually; embedding one shared struct makes "what instrumentation
+// does a run carry" a single type that core.Options, core.Request and
+// the serving layer can all project onto.
+//
+// Every field is result-neutral or documented otherwise: Trace and
+// Counters never change simulated results; Congestion changes multi-node
+// virtual times (and is therefore part of the artifact cache key), but
+// single-node results are identical either way.
+type Instrumentation struct {
+	// Trace, when non-nil, receives the job's phase-annotated event
+	// timeline. Tracing never alters the simulated result.
+	Trace TraceSink
+	// Congestion enables contention-aware interconnect pricing for
+	// multi-node runs (JobConfig.Congestion). Single-node jobs are never
+	// congested, so their results are exactly those of the default.
+	Congestion bool
+	// Counters enables the virtual PMU for every simulated job (see
+	// JobConfig.Counters); nil disables it.
+	Counters *metrics.Config
+}
+
+// Apply copies the bundle into a job configuration. Benchmarks call it
+// instead of assigning the three fields by hand.
+func (i Instrumentation) Apply(job *JobConfig) {
+	job.Sink = i.Trace
+	job.Congestion = i.Congestion
+	job.Counters = i.Counters
+}
