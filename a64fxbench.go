@@ -39,12 +39,14 @@ import (
 	"a64fxbench/internal/cosa"
 	"a64fxbench/internal/hpcg"
 	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/micro"
 	"a64fxbench/internal/minikab"
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/paper"
 	"a64fxbench/internal/serve"
 	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/spec"
 	"a64fxbench/internal/units"
 )
 
@@ -104,6 +106,71 @@ func SystemIDs() []SystemID { return arch.IDs() }
 func DeriveSystem(base SystemID, newID SystemID, mutate func(*System)) (*System, error) {
 	return arch.Derive(base, newID, mutate)
 }
+
+// Machine specs: every system is data — a JSON descriptor carrying the
+// Table-I hardware capability, the calibrated per-kernel efficiency
+// table and the anchor measurements the calibration protocol fits
+// against. The five embedded specs are the source of the stock systems;
+// user specs (files or JSON by value) register through the same path.
+type (
+	// MachineSpec is the JSON shape of a machine descriptor; quantity
+	// fields are unit strings ("210 GB/s", "8 GiB", "300 ns").
+	MachineSpec = spec.Spec
+	// Machine is a compiled, validated spec ready to register.
+	Machine = spec.Machine
+	// SpecFieldError is a rejected spec naming the offending JSON field
+	// path and the valid set.
+	SpecFieldError = spec.FieldError
+	// Calibration is the result of refitting a machine's efficiency
+	// table (two free parameters) against its declared anchors.
+	Calibration = micro.Calibration
+)
+
+// ParseMachineSpec strictly decodes a machine spec: unknown fields, bad
+// units and missing anchors are errors naming the field path.
+func ParseMachineSpec(data []byte) (*MachineSpec, error) { return spec.Parse(data) }
+
+// Machines lists every registered machine (the embedded Table-I five
+// plus any loaded or inline-registered specs) in registration order.
+func Machines() []*Machine { return spec.Machines() }
+
+// GetMachine looks a registered machine up by name.
+func GetMachine(name string) (*Machine, bool) { return spec.Get(name) }
+
+// RegisterMachineSpec resolves (overlays included), compiles and
+// registers a machine spec, making it a runnable System. Registration
+// is idempotent by content digest; a same-name spec with different
+// content is an error.
+func RegisterMachineSpec(s *MachineSpec) (*System, error) {
+	m, err := spec.Default.AddSpec(s, "api")
+	if err != nil {
+		return nil, err
+	}
+	return arch.RegisterMachine(m)
+}
+
+// LoadMachineSpecs loads every *.json machine spec in dir (overlays may
+// reference machines from other files in the same directory) and
+// registers each as a runnable System — the library form of the CLI's
+// -specs flag.
+func LoadMachineSpecs(dir string) ([]*Machine, error) {
+	machines, err := spec.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range machines {
+		if _, err := arch.RegisterMachine(m); err != nil {
+			return nil, err
+		}
+	}
+	return machines, nil
+}
+
+// Calibrate refits a machine's efficiency table against its declared
+// anchor measurements, reducing the fit to two free parameters (a
+// memory- and a compute-efficiency scale). Self-consistent specs — the
+// embedded five — come back with both scales at 1.0.
+func Calibrate(m *Machine) (*Calibration, error) { return micro.Calibrate(m) }
 
 // Toolchain is one row of the paper's Table II.
 type Toolchain = arch.Toolchain
@@ -230,8 +297,8 @@ func RegisterExtension(e *Experiment) error { return core.RegisterExtension(e) }
 
 // NewServer builds the sweep-as-a-service HTTP daemon (`a64fxbench
 // serve`): POST /v1/run, /v1/sweep, /v1/trace, /v1/counters and
-// /v1/links over Request bodies, GET /v1/healthz and /metrics. Mount
-// ServerHandler on any http server.
+// /v1/links over Request bodies, GET /v1/machines, /v1/healthz and
+// /metrics. Mount ServerHandler on any http server.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // Server is the daemon; Handler() is its mountable http.Handler.

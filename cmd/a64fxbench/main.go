@@ -192,9 +192,28 @@ var commands = []command{
 		},
 	},
 	cmdFunc{
-		name: "validate", synopsis: "validate",
-		describe: "self-check against the paper's values",
-		run: func(context.Context, sweepConfig, []string) error {
+		name: "machines", synopsis: "machines list|show|validate|calibrate ...",
+		describe: "machine spec registry: list, show, validate spec files, calibrate",
+		minArgs:  1,
+		run: func(_ context.Context, _ sweepConfig, args []string) error {
+			return machinesCmd(args)
+		},
+	},
+	cmdFunc{
+		name: "calibrate", synopsis: "calibrate <machine>",
+		describe: "refit a machine's efficiency table against its declared anchors",
+		minArgs:  1,
+		run: func(_ context.Context, _ sweepConfig, args []string) error {
+			return calibrateCmd(args[0])
+		},
+	},
+	cmdFunc{
+		name: "validate", synopsis: "validate [spec.json|dir ...]",
+		describe: "self-check against the paper's values; with args, validate machine specs",
+		run: func(_ context.Context, _ sweepConfig, args []string) error {
+			if len(args) > 0 {
+				return validateSpecPaths(args)
+			}
 			return validateCmd()
 		},
 	},
@@ -224,6 +243,8 @@ func main() {
 	tol := flag.Float64("tol", 0.01, "diff: relative tolerance for time and rate metrics")
 	addr := flag.String("addr", "127.0.0.1:7764", "serve: listen address")
 	queue := flag.Int("queue", 0, "serve: queued executions before 429 (0 = default 64)")
+	specs := flag.String("specs", "", "load machine specs from DIR (default $A64FXBENCH_SPECS)")
+	machine := flag.String("machine", "", "target machine for machine-parameterized experiments (default A64FX)")
 	flag.Usage = usage
 	// Interleaved parsing: each Parse stops at the first non-flag token,
 	// so collect positionals one at a time and re-parse the remainder.
@@ -255,11 +276,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
 		os.Exit(2)
 	}
+	specDir := *specs
+	if specDir == "" {
+		specDir = os.Getenv("A64FXBENCH_SPECS")
+	}
+	if err := loadSpecs(specDir); err != nil {
+		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
+		os.Exit(2)
+	}
 	cfg := sweepConfig{
 		quick: *quick, compare: *compare, format: *format,
 		jobs: *jobs, failFast: *failFast,
 		profile: *profile, congestion: *congestion, engine: eng, out: *outFile,
 		period: *period, tol: *tol, addr: *addr, queue: *queue,
+		machine: *machine,
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
@@ -298,6 +328,10 @@ flags (accepted before or after the command):
   -failfast  cancel remaining experiments after the first failure
   -addr A    serve: listen address (default 127.0.0.1:7764)
   -queue N   serve: queued executions before 429 (0 = default 64)
+  -specs DIR load machine spec files from DIR into the registry
+             (default: the A64FXBENCH_SPECS environment variable)
+  -machine M run machine-parameterized experiments (ext-machine) on
+             registered machine M (default A64FX)
 `)
 }
 

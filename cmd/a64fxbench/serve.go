@@ -27,7 +27,7 @@ func serveCmd(ctx context.Context, cfg sweepConfig) error {
 	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "a64fxbench serve: listening on http://%s (POST /v1/run /v1/sweep /v1/trace /v1/counters /v1/links; GET /v1/healthz /metrics)\n", cfg.addr)
+	fmt.Fprintf(os.Stderr, "a64fxbench serve: listening on http://%s (POST /v1/run /v1/sweep /v1/trace /v1/counters /v1/links; GET /v1/machines /v1/healthz /metrics)\n", cfg.addr)
 	select {
 	case err := <-errc:
 		return fmt.Errorf("serve: %w", err)

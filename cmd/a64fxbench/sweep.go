@@ -28,6 +28,9 @@ type sweepConfig struct {
 	// engine selects the simmpi execution substrate for every simulated
 	// job (core.Options.Engine); empty means the goroutine default.
 	engine a64fxbench.Engine
+	// machine names the target machine for machine-parameterized ids
+	// (core.Request.Machine); empty means the default (A64FX).
+	machine string
 	// out is the exporting commands' output file ("" = stdout).
 	out string
 	// period is the counters command's virtual-time sampling period
@@ -60,7 +63,7 @@ func (c sweepConfig) rawRequest(ids []string) core.Request {
 	return core.Request{
 		IDs: ids, Quick: c.quick, Congestion: c.congestion,
 		Engine: string(c.engine), Format: c.format, Compare: c.compare,
-		PeriodNS: c.period.Nanoseconds(),
+		PeriodNS: c.period.Nanoseconds(), Machine: c.machine,
 	}
 }
 

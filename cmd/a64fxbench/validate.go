@@ -51,9 +51,9 @@ func validateCmd() error {
 			return err
 		}
 		got := float64(stream[0].Bandwidth)
-		peak := float64(sys.Node.PeakBandwidth())
-		check(fmt.Sprintf("%s STREAM", id), got > 0.4*peak && got <= peak,
-			fmt.Sprintf("%.0f of %.0f GB/s", got/1e9, peak/1e9))
+		lo, hi := micro.TriadExpectation(sys)
+		check(fmt.Sprintf("%s STREAM", id), got >= float64(lo) && got <= float64(hi),
+			fmt.Sprintf("%.0f GB/s (calibrated band %.0f–%.0f)", got/1e9, float64(lo)/1e9, float64(hi)/1e9))
 		pp, err := micro.PingPong(sys, []units.Bytes{0})
 		if err != nil {
 			return err

@@ -25,113 +25,25 @@ func eff(compute, memory float64) perfmodel.Efficiency {
 	return perfmodel.Efficiency{Compute: compute, Memory: memory}
 }
 
+// The tables themselves are data, not code: each machine spec's
+// "efficiency" and "fast_math_gain" sections (internal/spec/specs for
+// the five Table-I systems) install here via RegisterMachine. The
+// calibration anchors these numbers encode:
+//   - Table III (single-node HPCG) pins SymGS/SpMV memory efficiency.
+//   - Table V (single-core minikab) pins single-stream SpMV behaviour.
+//   - Table VI (Nekbone ± fast math) pins SmallGEMM compute efficiency
+//     and the Fujitsu -Kfast gain (and the slight fast-math *loss* on
+//     NGIO: 127.19 → 90.37 GFLOP/s).
+//   - Table IX (CASTEP) pins FFT/LargeGEMM efficiency.
+//   - Table X (OpenSBLI) pins the StencilFD penalty on the A64FX.
+
 // efficiencies maps system → kernel class → calibrated efficiency.
-var efficiencies = map[ID]map[perfmodel.KernelClass]perfmodel.Efficiency{
-	A64FX: {
-		// Unoptimised HPCG: the SVE compiler vectorises the smoother
-		// poorly; effective bandwidth is a modest fraction of HBM2.
-		perfmodel.SpMV:          eff(0.040, 0.348),
-		perfmodel.SymGS:         eff(0.030, 0.200),
-		perfmodel.DotProduct:    eff(0.050, 0.527),
-		perfmodel.VectorOp:      eff(0.050, 0.653),
-		perfmodel.SmallGEMM:     eff(0.068, 0.550),
-		perfmodel.LargeGEMM:     eff(0.560, 0.700),
-		perfmodel.StencilFD:     eff(0.0164, 0.110),
-		perfmodel.FluxFV:        eff(0.060, 0.350),
-		perfmodel.FFTKernel:     eff(0.053, 0.400),
-		perfmodel.GatherScatter: eff(0.020, 0.300),
-		perfmodel.Precond:       eff(0.050, 0.500),
-	},
-	ARCHER: {
-		perfmodel.SpMV:          eff(0.080, 0.960),
-		perfmodel.SymGS:         eff(0.060, 0.904),
-		perfmodel.DotProduct:    eff(0.100, 0.960),
-		perfmodel.VectorOp:      eff(0.100, 0.960),
-		perfmodel.SmallGEMM:     eff(0.293, 0.800),
-		perfmodel.LargeGEMM:     eff(0.800, 0.850),
-		perfmodel.StencilFD:     eff(0.070, 0.600),
-		perfmodel.FluxFV:        eff(0.090, 0.800),
-		perfmodel.FFTKernel:     eff(0.180, 0.660),
-		perfmodel.GatherScatter: eff(0.050, 0.600),
-		perfmodel.Precond:       eff(0.100, 0.800),
-	},
-	Cirrus: {
-		perfmodel.SpMV:          eff(0.060, 0.805),
-		perfmodel.SymGS:         eff(0.045, 0.727),
-		perfmodel.DotProduct:    eff(0.080, 0.960),
-		perfmodel.VectorOp:      eff(0.080, 0.960),
-		perfmodel.SmallGEMM:     eff(0.100, 0.750),
-		perfmodel.LargeGEMM:     eff(0.820, 0.850),
-		perfmodel.StencilFD:     eff(0.0831, 0.600),
-		perfmodel.FluxFV:        eff(0.085, 0.800),
-		perfmodel.FFTKernel:     eff(0.190, 0.790),
-		perfmodel.GatherScatter: eff(0.045, 0.550),
-		perfmodel.Precond:       eff(0.080, 0.750),
-	},
-	NGIO: {
-		// MKL-backed (the unopt/opt HPCG split is handled by the
-		// benchmark's Optimised flag, not here).
-		perfmodel.SpMV:          eff(0.045, 0.699),
-		perfmodel.SymGS:         eff(0.035, 0.624),
-		perfmodel.DotProduct:    eff(0.070, 0.936),
-		perfmodel.VectorOp:      eff(0.070, 0.960),
-		perfmodel.SmallGEMM:     eff(0.087, 0.700),
-		perfmodel.LargeGEMM:     eff(0.850, 0.880),
-		perfmodel.StencilFD:     eff(0.0615, 0.680),
-		perfmodel.FluxFV:        eff(0.080, 0.800),
-		perfmodel.FFTKernel:     eff(0.160, 0.690),
-		perfmodel.GatherScatter: eff(0.040, 0.550),
-		perfmodel.Precond:       eff(0.070, 0.750),
-	},
-	Fulhame: {
-		perfmodel.SpMV:          eff(0.110, 0.541),
-		perfmodel.SymGS:         eff(0.090, 0.488),
-		perfmodel.DotProduct:    eff(0.140, 0.654),
-		perfmodel.VectorOp:      eff(0.140, 0.698),
-		perfmodel.SmallGEMM:     eff(0.210, 0.720),
-		perfmodel.LargeGEMM:     eff(0.700, 0.800),
-		perfmodel.StencilFD:     eff(0.1497, 0.680),
-		perfmodel.FluxFV:        eff(0.130, 0.850),
-		perfmodel.FFTKernel:     eff(0.155, 0.700),
-		perfmodel.GatherScatter: eff(0.080, 0.550),
-		perfmodel.Precond:       eff(0.140, 0.750),
-	},
-}
+var efficiencies = map[ID]map[perfmodel.KernelClass]perfmodel.Efficiency{}
 
 // fastMathGains maps system → kernel class → multiplicative compute-
 // efficiency gain under the aggressive compiler mode (-Kfast on the
-// Fujitsu toolchain, -ffast-math/-Ofast elsewhere). The A64FX gains are
-// large (Table VI: Nekbone 175.74 → 312.34 GFLOP/s); the paper finds the
-// equivalent flags roughly neutral on the other machines, and slightly
-// *negative* on NGIO (127.19 → 90.37).
-var fastMathGains = map[ID]map[perfmodel.KernelClass]float64{
-	A64FX: {
-		perfmodel.SmallGEMM: 2.48,
-		perfmodel.VectorOp:  1.60,
-		perfmodel.StencilFD: 1.30,
-		perfmodel.SpMV:      1.15,
-		perfmodel.SymGS:     1.10,
-		perfmodel.FFTKernel: 1.25,
-	},
-	ARCHER: {
-		perfmodel.SmallGEMM: 1.05,
-		perfmodel.VectorOp:  1.02,
-	},
-	Cirrus: {
-		perfmodel.SmallGEMM: 1.03,
-		perfmodel.VectorOp:  1.02,
-	},
-	NGIO: {
-		// Fast math perturbs MKL-friendly code generation on Cascade
-		// Lake; the paper measures a net slowdown for Nekbone.
-		perfmodel.SmallGEMM: 0.56,
-		perfmodel.VectorOp:  0.95,
-	},
-	Fulhame: {
-		perfmodel.SmallGEMM: 1.13,
-		perfmodel.VectorOp:  1.05,
-	},
-}
+// Fujitsu toolchain, -ffast-math/-Ofast elsewhere).
+var fastMathGains = map[ID]map[perfmodel.KernelClass]float64{}
 
 // calibration returns both calibration tables for one system under the
 // registry lock. The returned maps are shared and treated as immutable

@@ -1,0 +1,74 @@
+package arch
+
+import (
+	"fmt"
+
+	"a64fxbench/internal/spec"
+)
+
+// The registry is spec-backed: the five Table-I systems load from the
+// embedded machine specs at init, and any machine a user declares in
+// JSON (spec files, inline request specs) registers through the same
+// path. Specs are the data source; System stays the model-facing view.
+
+// machineSpecs records the compiled spec behind each spec-backed
+// system, keyed by ID; guarded by regMu with the other registry maps.
+var machineSpecs = map[ID]*spec.Machine{}
+
+func init() {
+	for _, m := range spec.Embedded() {
+		if _, err := RegisterMachine(m); err != nil {
+			panic("arch: embedded spec: " + err.Error())
+		}
+	}
+}
+
+// RegisterMachine installs a compiled machine spec as a System,
+// including its calibration tables. Registration is idempotent by spec
+// digest: the same machine registers once, while a same-name machine
+// with different content is an error — names stay injective to specs
+// for the process lifetime, so artifact caches may key on the name.
+func RegisterMachine(m *spec.Machine) (*System, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	id := ID(m.Name())
+	if s, ok := systems[id]; ok {
+		prev, specBacked := machineSpecs[id]
+		if specBacked && prev.Digest() == m.Digest() {
+			return s, nil
+		}
+		if specBacked {
+			return nil, fmt.Errorf("arch: machine %q already registered with a different spec (digest %.12s vs %.12s)",
+				id, prev.Digest(), m.Digest())
+		}
+		return nil, fmt.Errorf("arch: machine %q collides with a non-spec system of the same name", id)
+	}
+	s := &System{
+		ID:                id,
+		Description:       m.Spec.Description,
+		Processor:         m.Spec.Processor,
+		Microarch:         m.Spec.Microarch,
+		ClockGHz:          m.Spec.ClockGHz,
+		CoresPerProcessor: m.Spec.CoresPerProcessor,
+		ProcessorsPerNode: m.Spec.ProcessorsPerNode,
+		ThreadsPerCore:    m.Spec.ThreadsPerCore,
+		VectorBits:        m.Spec.VectorBits,
+		MaxNodes:          m.Spec.MaxNodes,
+		Node:              m.Node,
+		NewFabric:         m.NewFabric,
+	}
+	efficiencies[id] = m.Efficiency
+	fastMathGains[id] = m.FastMathGain
+	machineSpecs[id] = m
+	registerLocked(s)
+	return s, nil
+}
+
+// MachineSpec returns the compiled spec behind a spec-backed system;
+// ok is false for systems created by Derive or legacy registration.
+func MachineSpec(id ID) (*spec.Machine, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := machineSpecs[id]
+	return m, ok
+}

@@ -71,6 +71,13 @@ type Options struct {
 	// really execute both engines instead of sharing one cached
 	// artifact. Empty means the goroutine default.
 	Engine simmpi.Engine
+	// Machine names the target machine for machine-parameterized
+	// experiments (the ext-machine suite runs its single-node
+	// microbenchmarks on it). Paper artifacts ignore it — their system
+	// sets are fixed by the paper — so it participates in ArtifactKey
+	// only through the experiments that read it. Empty means the
+	// experiment's own default (A64FX).
+	Machine string
 }
 
 // Instrumentation is the shared observability/network-pricing bundle
@@ -94,11 +101,12 @@ func (o Options) Instr() Instrumentation {
 type OptionsKey struct {
 	Quick      bool
 	Congestion bool
+	Machine    string
 }
 
 // ArtifactKey projects the options onto their artifact-affecting fields.
 func (o Options) ArtifactKey() OptionsKey {
-	return OptionsKey{Quick: o.Quick, Congestion: o.Congestion}
+	return OptionsKey{Quick: o.Quick, Congestion: o.Congestion, Machine: o.Machine}
 }
 
 // Cell is one measured value with an optional paper reference.

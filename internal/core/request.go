@@ -8,8 +8,10 @@ import (
 	"io"
 	"strings"
 
+	"a64fxbench/internal/arch"
 	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/spec"
 	"a64fxbench/internal/units"
 )
 
@@ -46,6 +48,18 @@ type Request struct {
 	// series in nanoseconds (counters operation only; 0 = the metrics
 	// default).
 	PeriodNS int64 `json:"period_ns,omitempty"`
+	// Machine names the target machine for machine-parameterized ids
+	// (the ext-machine suite). It must resolve in the spec registry —
+	// one of the embedded Table-I systems, a `-specs DIR` load, or the
+	// machine declared by Spec below. Empty means the default (A64FX).
+	Machine string `json:"machine,omitempty"`
+	// Spec carries a full machine spec by value (the same JSON shape as
+	// a spec file, overlays included), so a serve client can run against
+	// a what-if machine without any file on the server. Normalization
+	// strictly parses, compiles and registers it; the canonical form
+	// participates in Digest, so a custom-spec request is cacheable and
+	// digest-distinct from every stock machine.
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // DecodeRequest reads one JSON-encoded Request from r under strict
@@ -155,6 +169,35 @@ func (r Request) normalized(strictIDs bool) (Request, error) {
 	if out.PeriodNS < 0 {
 		return Request{}, fmt.Errorf("request: negative counter period %dns", out.PeriodNS)
 	}
+	if len(out.Spec) > 0 {
+		m, err := spec.Default.AddBytes(out.Spec, "request")
+		if err != nil {
+			return Request{}, fmt.Errorf("request: %w", err)
+		}
+		if _, err := arch.RegisterMachine(m); err != nil {
+			return Request{}, fmt.Errorf("request: %w", err)
+		}
+		if out.Machine != "" && out.Machine != m.Name() {
+			return Request{}, fmt.Errorf("request: machine %q does not match inline spec machine %q",
+				out.Machine, m.Name())
+		}
+		out.Machine = m.Name()
+		// Canonical bytes so requests that differ only in JSON
+		// whitespace or key order digest (and cache) identically.
+		out.Spec = m.Spec.Canonical()
+	}
+	if out.Machine != "" {
+		m, ok := spec.Get(out.Machine)
+		if !ok {
+			return Request{}, fmt.Errorf("request: unknown machine %q (valid: %s)",
+				out.Machine, strings.Join(spec.Names(), " "))
+		}
+		// Make sure the named machine is runnable as a system too (a
+		// `-specs DIR` load registers into the spec registry first).
+		if _, err := arch.RegisterMachine(m); err != nil {
+			return Request{}, fmt.Errorf("request: %w", err)
+		}
+	}
 	return out, nil
 }
 
@@ -167,7 +210,7 @@ func (r Request) Options() (Options, error) {
 	if err != nil {
 		return Options{}, err
 	}
-	return Options{Quick: r.Quick, Congestion: r.Congestion, Engine: eng}, nil
+	return Options{Quick: r.Quick, Congestion: r.Congestion, Engine: eng, Machine: r.Machine}, nil
 }
 
 // CounterConfig builds the PMU configuration the counters operation
@@ -205,5 +248,7 @@ func (r Request) Digest() string {
 	str(r.Engine)
 	str(r.Format)
 	b = binary.BigEndian.AppendUint64(b, uint64(r.PeriodNS))
+	str(r.Machine)
+	str(string(r.Spec))
 	return fmt.Sprintf("%x", sha256.Sum256(b))
 }

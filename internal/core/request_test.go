@@ -164,3 +164,66 @@ func TestValidIDsCoversBothRegistries(t *testing.T) {
 		}
 	}
 }
+
+func TestRequestMachineAndSpec(t *testing.T) {
+	t.Parallel()
+	norm := func(body string) (Request, error) { return ParseRequest([]byte(body)) }
+
+	base, err := norm(`{"ids":["table1"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := norm(`{"ids":["table1"],"machine":"A64FX"}`)
+	if err != nil {
+		t.Fatalf("named stock machine rejected: %v", err)
+	}
+	if named.Digest() == base.Digest() {
+		t.Fatal("machine field does not affect the digest")
+	}
+	opt, err := named.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Machine != "A64FX" {
+		t.Fatalf("Options.Machine = %q, want A64FX", opt.Machine)
+	}
+
+	if _, err := norm(`{"ids":["table1"],"machine":"NoSuchBox"}`); err == nil ||
+		!strings.Contains(err.Error(), "A64FX") {
+		t.Fatalf("unknown machine should list the valid set, got %v", err)
+	}
+
+	const overlay = `{"base":"A64FX","name":"ReqTest-A","description":"w","clock_ghz":1.9}`
+	inline, err := norm(`{"ids":["table1"],"spec":` + overlay + `}`)
+	if err != nil {
+		t.Fatalf("inline spec rejected: %v", err)
+	}
+	if inline.Machine != "ReqTest-A" {
+		t.Fatalf("inline spec did not set Machine, got %q", inline.Machine)
+	}
+	if inline.Digest() == named.Digest() || inline.Digest() == base.Digest() {
+		t.Fatal("inline-spec request must digest distinct from stock requests")
+	}
+
+	// Whitespace and key order are canonicalized away: same machine, one
+	// digest (one cache slot).
+	reordered, err := norm(`{"ids":["table1"],"spec":{"clock_ghz":1.9,  "name":"ReqTest-A","description":"w","base":"A64FX"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Digest() != inline.Digest() {
+		t.Fatal("spec key order / whitespace changed the request digest")
+	}
+
+	// A named machine may accompany an inline spec only if they agree.
+	if _, err := norm(`{"ids":["table1"],"machine":"A64FX","spec":` + overlay + `}`); err == nil ||
+		!strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("machine/spec name mismatch should be rejected, got %v", err)
+	}
+
+	// A bad inline spec surfaces the decoder's field path.
+	if _, err := norm(`{"ids":["table1"],"spec":{"base":"A64FX","name":"ReqTest-B","node":{"domain_bandwidth":"300 GB"}}}`); err == nil ||
+		!strings.Contains(err.Error(), "node.domain_bandwidth") {
+		t.Fatalf("bad inline spec should name the field, got %v", err)
+	}
+}

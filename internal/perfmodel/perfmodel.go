@@ -106,6 +106,27 @@ func KernelClasses() []KernelClass {
 	return out
 }
 
+// KernelClassNames lists every class name in declaration order — the
+// valid key set of a machine spec's efficiency table.
+func KernelClassNames() []string {
+	names := make([]string, numKernelClasses)
+	for i := range names {
+		names[i] = KernelClass(i).String()
+	}
+	return names
+}
+
+// ParseKernelClass resolves a class name as produced by String (the
+// spelling machine specs use); ok is false for unknown names.
+func ParseKernelClass(name string) (KernelClass, bool) {
+	for i := 0; i < int(numKernelClasses); i++ {
+		if KernelClass(i).String() == name {
+			return KernelClass(i), true
+		}
+	}
+	return 0, false
+}
+
 // WorkProfile meters one kernel phase: the real operation counts produced
 // by executing the actual numerical code.
 type WorkProfile struct {

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"a64fxbench/internal/core"
+	"a64fxbench/internal/spec"
 	"a64fxbench/internal/sweep"
 )
 
@@ -103,6 +105,7 @@ func New(cfg Config) *Server {
 	for _, op := range []string{"run", "sweep", "trace", "counters", "links"} {
 		s.mux.HandleFunc("/v1/"+op, s.opHandler(op))
 	}
+	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -327,6 +330,63 @@ func errBody(err error) []byte {
 	return append(b, '\n')
 }
 
+// handleMachines serves the machine-spec registry: GET /v1/machines
+// lists every registered machine (embedded, -specs loads, and any spec
+// a request registered by value); GET /v1/machines?name=X returns X's
+// resolved canonical spec, which round-trips through the decoder — a
+// client can fetch a stock machine, patch it, and post the result back
+// inline in a /v1/run request.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := s.serveMachines(w, r)
+	s.met.Observe("/v1/machines", code, time.Since(start))
+}
+
+func (s *Server) serveMachines(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("machines: use GET"))
+	}
+	if name := r.URL.Query().Get("name"); name != "" {
+		m, ok := spec.Get(name)
+		if !ok {
+			return writeError(w, http.StatusNotFound,
+				fmt.Errorf("machines: unknown machine %q (valid: %s)", name, strings.Join(spec.Names(), " ")))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(append(m.Spec.Canonical(), '\n'))
+		return http.StatusOK
+	}
+	type entry struct {
+		Name         string `json:"name"`
+		Description  string `json:"description,omitempty"`
+		Source       string `json:"source"`
+		Digest       string `json:"digest"`
+		CoresPerNode int    `json:"cores_per_node"`
+		MaxNodes     int    `json:"max_nodes"`
+	}
+	var out []entry
+	for _, m := range spec.Machines() {
+		out = append(out, entry{
+			Name:         m.Name(),
+			Description:  m.Spec.Description,
+			Source:       spec.Default.Source(m.Name()),
+			Digest:       m.Digest(),
+			CoresPerNode: m.CoresPerNode(),
+			MaxNodes:     m.Spec.MaxNodes,
+		})
+	}
+	body, err := json.Marshal(map[string]any{"machines": out})
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(body, '\n'))
+	return http.StatusOK
+}
+
 // handleHealthz reports liveness plus the registry sizes, so a probe
 // also verifies the experiment tables linked in.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -342,6 +402,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":      "ok",
 		"experiments": len(core.List()),
 		"extensions":  len(core.Extensions()),
+		"machines":    len(spec.Names()),
 		"uptime_s":    time.Since(s.met.started).Seconds(),
 	})
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: the spec decoder must never panic on arbitrary input, and
+// every rejection must carry a non-empty message (FieldErrors name the
+// offending field). Inputs that parse must compile without panicking
+// and, when they compile, canonical-encode to a fixed point.
+func FuzzParse(f *testing.F) {
+	for _, m := range Embedded() {
+		f.Add(m.Spec.Canonical())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"X","quik":true}`))
+	f.Add([]byte(`{"name":"X","clock_ghz":"fast"}`))
+	f.Add([]byte(`{"name":"X","node":{"peak_flops":"1 GFX/s"}}`))
+	f.Add([]byte(`{"base":"A64FX","name":"Y","efficiency":{"nope":{"compute":2}}}`))
+	f.Add([]byte(`{"name":"X","fabric":{"kind":"custom","topology":"moebius"}}`))
+	f.Add([]byte(`{"name":"X","anchors":{"triad_bandwidth":"-1 GB/s","peak_flops":"NaN F/s"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty message")
+			}
+			return
+		}
+		m, err := s.Compile()
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("compile rejection with empty message")
+			}
+			return
+		}
+		// A compiled spec's canonical form is a fixed point of the
+		// decoder.
+		canon := m.Spec.Canonical()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form of accepted spec rejected: %v", err)
+		}
+		if !bytes.Equal(s2.Canonical(), canon) {
+			t.Fatal("canonical encoding unstable")
+		}
+	})
+}

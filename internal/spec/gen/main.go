@@ -1,0 +1,90 @@
+// Command gen regenerates the anchor measurements in the embedded
+// machine specs (internal/spec/specs/*.json): it runs the calibration
+// microbenchmarks — full-node STREAM triad, the peak-flops kernel, the
+// 8-byte ping-pong — against the committed model and writes the results
+// back as each spec's anchors, so `machines calibrate` on a stock
+// machine refits the efficiency table to scales of exactly 1.
+//
+// Run it after any deliberate change to the Table-I values or the cost
+// model:
+//
+//	go run ./internal/spec/gen
+//
+// and commit the rewritten spec files (the diff is the review artifact).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/micro"
+	"a64fxbench/internal/spec"
+	"a64fxbench/internal/units"
+)
+
+func main() {
+	dir := "internal/spec/specs"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if err := regen(path); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+}
+
+func regen(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := spec.Parse(raw)
+	if err != nil {
+		return err
+	}
+	sys, err := arch.Get(arch.ID(s.Name))
+	if err != nil {
+		return err
+	}
+	triad, err := micro.StreamTriad(sys, []int{sys.CoresPerNode()})
+	if err != nil {
+		return err
+	}
+	peak, err := micro.PeakFlops(sys)
+	if err != nil {
+		return err
+	}
+	pp, err := micro.PingPong(sys, []units.Bytes{8})
+	if err != nil {
+		return err
+	}
+	s.Anchors = &spec.AnchorsSpec{
+		TriadBandwidth: spec.FormatByteRate(triad[0].Bandwidth),
+		PeakFlops:      spec.FormatFlopRate(peak),
+		Latency:        spec.FormatDuration(pp[0].HalfRoundTrip),
+	}
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s triad %-22s peak %-22s latency %s\n",
+		path, s.Anchors.TriadBandwidth, s.Anchors.PeakFlops, s.Anchors.Latency)
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

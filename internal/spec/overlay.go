@@ -1,0 +1,81 @@
+package spec
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// Overlays: a spec whose "base" names another machine carries only the
+// fields that differ. Resolution merges the overlay into the base's
+// canonical JSON with RFC 7386 merge-patch semantics — objects merge
+// recursively, scalars and whole maps-of-scalars entries replace, an
+// explicit null deletes — then re-parses the merged document strictly.
+// The overlay must rename the machine: a what-if variant is a new
+// identity, never a silent redefinition of its base.
+
+// resolve expands raw (already strictly parsed as s) against base
+// specs provided by lookup; validNames lists the known base names for
+// error messages. Non-overlay specs pass through unchanged.
+func resolve(raw []byte, s *Spec, lookup func(string) (*Spec, bool), validNames func() []string) (*Spec, error) {
+	if s.Base == "" {
+		return s, nil
+	}
+	base, ok := lookup(s.Base)
+	if !ok {
+		return nil, fieldErrf("base", "unknown base machine %q (valid: %s)",
+			s.Base, strings.Join(validNames(), " "))
+	}
+	var baseMap, patch map[string]any
+	if err := json.Unmarshal(base.Canonical(), &baseMap); err != nil {
+		return nil, fieldErrf("base", "cannot re-decode base %q: %v", s.Base, err)
+	}
+	if err := json.Unmarshal(raw, &patch); err != nil {
+		// raw already parsed strictly as an object; cannot happen.
+		return nil, fieldErrf("base", "cannot re-decode overlay: %v", err)
+	}
+	delete(patch, "base")
+	merged := mergePatch(baseMap, patch)
+	if name, _ := merged["name"].(string); name == base.Name {
+		return nil, fieldErrf("name", "overlay of %q must give the derived machine a new name", base.Name)
+	}
+	out, err := json.Marshal(merged)
+	if err != nil {
+		return nil, fieldErrf("base", "cannot encode merged spec: %v", err)
+	}
+	resolved, err := Parse(out)
+	if err != nil {
+		return nil, err
+	}
+	if resolved.Base != "" {
+		// A null-resistant guard: "base" was deleted above, so a
+		// non-empty value here means the overlay smuggled it back.
+		return nil, fieldErrf("base", "overlay chains must resolve through a registry")
+	}
+	return resolved, nil
+}
+
+// mergePatch applies RFC 7386 semantics: patch keys overwrite dst keys,
+// recursing where both sides are objects, deleting on explicit null.
+func mergePatch(dst, patch map[string]any) map[string]any {
+	keys := make([]string, 0, len(patch))
+	for k := range patch {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := patch[k]
+		if v == nil {
+			delete(dst, k)
+			continue
+		}
+		if pm, ok := v.(map[string]any); ok {
+			if dm, ok := dst[k].(map[string]any); ok {
+				dst[k] = mergePatch(dm, pm)
+				continue
+			}
+		}
+		dst[k] = v
+	}
+	return dst
+}
