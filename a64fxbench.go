@@ -44,6 +44,7 @@ import (
 	"a64fxbench/internal/nekbone"
 	"a64fxbench/internal/opensbli"
 	"a64fxbench/internal/paper"
+	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/serve"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/spec"
@@ -211,6 +212,23 @@ const (
 // ParseEngine resolves a CLI engine name ("goroutine", "event" or ""
 // for the default) to an Engine.
 func ParseEngine(s string) (Engine, error) { return simmpi.ParseEngine(s) }
+
+// Model selects the compute-phase pricing model: the calibrated
+// roofline default or the ECM memory-hierarchy model with explicit
+// per-level transfer phases. Unlike Engine, the model changes simulated
+// results — ECM artifacts are digest-distinct from roofline ones
+// (Options.Model and every benchmark Config accept either).
+type Model = perfmodel.Model
+
+// The available pricing models. ParseModel maps the CLI spellings.
+const (
+	ModelRoofline = perfmodel.ModelRoofline
+	ModelECM      = perfmodel.ModelECM
+)
+
+// ParseModel resolves a CLI model name ("roofline", "ecm" or "" for
+// the default) to a Model.
+func ParseModel(s string) (Model, error) { return perfmodel.ParseModel(s) }
 
 // TraceSink receives the phase-annotated event stream of traced
 // simulated jobs (see the trace support in every benchmark Config).

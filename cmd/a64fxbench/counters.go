@@ -7,6 +7,7 @@ import (
 
 	"a64fxbench"
 	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/obs"
 	"a64fxbench/internal/serve"
 )
 
@@ -44,6 +45,12 @@ func countersCmd(ctx context.Context, ids []string, cfg sweepConfig) error {
 // exits non-zero (through the returned error) on any regression or
 // removed metric — the run-to-run sentinel. -tol sets the relative
 // tolerance for Time and Rate metrics; Work metrics must match exactly.
+//
+// When the two snapshots were priced by different compute models (their
+// Meta["model"] entries disagree, e.g. a roofline run diffed against an
+// `-model=ecm` run), the tolerance gate makes no sense — the models are
+// supposed to disagree — so diffCmd instead renders the report-only
+// per-phase model-delta table and exits zero.
 func diffCmd(w io.Writer, oldPath, newPath string, cfg sweepConfig) error {
 	oldSnap, err := metrics.LoadSnapshot(oldPath)
 	if err != nil {
@@ -52,6 +59,10 @@ func diffCmd(w io.Writer, oldPath, newPath string, cfg sweepConfig) error {
 	newSnap, err := metrics.LoadSnapshot(newPath)
 	if err != nil {
 		return err
+	}
+	om, nm := oldSnap.Meta["model"], newSnap.Meta["model"]
+	if om != "" && nm != "" && om != nm {
+		return obs.ModelDelta(oldSnap, newSnap).Render(w)
 	}
 	res := metrics.Diff(oldSnap, newSnap, metrics.DiffOptions{
 		TimeTol: cfg.tol, RateTol: cfg.tol,

@@ -245,6 +245,7 @@ func main() {
 	queue := flag.Int("queue", 0, "serve: queued executions before 429 (0 = default 64)")
 	specs := flag.String("specs", "", "load machine specs from DIR (default $A64FXBENCH_SPECS)")
 	machine := flag.String("machine", "", "target machine for machine-parameterized experiments (default A64FX)")
+	model := flag.String("model", "", "compute-phase pricing model: roofline (default) or ecm (memory-hierarchy)")
 	flag.Usage = usage
 	// Interleaved parsing: each Parse stops at the first non-flag token,
 	// so collect positionals one at a time and re-parse the remainder.
@@ -276,6 +277,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
 		os.Exit(2)
 	}
+	mdl, err := a64fxbench.ParseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a64fxbench:", err)
+		os.Exit(2)
+	}
 	specDir := *specs
 	if specDir == "" {
 		specDir = os.Getenv("A64FXBENCH_SPECS")
@@ -289,7 +295,7 @@ func main() {
 		jobs: *jobs, failFast: *failFast,
 		profile: *profile, congestion: *congestion, engine: eng, out: *outFile,
 		period: *period, tol: *tol, addr: *addr, queue: *queue,
-		machine: *machine,
+		machine: *machine, model: string(mdl),
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
 	// finish (the sweep engine documents this), then the partial summary
@@ -332,6 +338,9 @@ flags (accepted before or after the command):
              (default: the A64FXBENCH_SPECS environment variable)
   -machine M run machine-parameterized experiments (ext-machine) on
              registered machine M (default A64FX)
+  -model M   compute-phase pricing model: roofline (default, calibrated) or
+             ecm (per-level memory-hierarchy phases; diff two counter
+             snapshots to tabulate roofline-vs-ECM prediction deltas)
 `)
 }
 

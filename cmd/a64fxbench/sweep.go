@@ -31,6 +31,9 @@ type sweepConfig struct {
 	// machine names the target machine for machine-parameterized ids
 	// (core.Request.Machine); empty means the default (A64FX).
 	machine string
+	// model selects the compute-phase pricing model
+	// (core.Request.Model); empty means the roofline default.
+	model string
 	// out is the exporting commands' output file ("" = stdout).
 	out string
 	// period is the counters command's virtual-time sampling period
@@ -64,6 +67,7 @@ func (c sweepConfig) rawRequest(ids []string) core.Request {
 		IDs: ids, Quick: c.quick, Congestion: c.congestion,
 		Engine: string(c.engine), Format: c.format, Compare: c.compare,
 		PeriodNS: c.period.Nanoseconds(), Machine: c.machine,
+		Model: c.model,
 	}
 }
 

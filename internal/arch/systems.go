@@ -147,6 +147,12 @@ func (s *System) PerRankCapability(ranksPerNode, threadsPerRank int) perfmodel.N
 		}},
 		L2PerDomain:     l2Share,
 		PerCallOverhead: s.Node.PerCallOverhead,
+		// The ECM per-core cache bandwidths and overlap knobs are
+		// per-core quantities; they survive rank slicing unchanged.
+		L1BandwidthPerCore: s.Node.L1BandwidthPerCore,
+		L2BandwidthPerCore: s.Node.L2BandwidthPerCore,
+		ECMCoreOverlap:     s.Node.ECMCoreOverlap,
+		ECMMemOverlap:      s.Node.ECMMemOverlap,
 	}
 }
 

@@ -49,6 +49,9 @@ var legacySystems = []*System{
 			Domains:            legacyDomains(4, 12, 210*units.GBPerSec, 30*units.GBPerSec, 8*units.GiB),
 			L2PerDomain:        8 * units.MiB,
 			PerCallOverhead:    units.Duration(300 * units.Nanosecond),
+			L1BandwidthPerCore: 140.8 * units.GBPerSec,
+			L2BandwidthPerCore: 70.4 * units.GBPerSec,
+			ECMMemOverlap:      0.4,
 		},
 		NewFabric: netmodel.NewTofuD,
 	},
@@ -73,6 +76,9 @@ var legacySystems = []*System{
 			PerCallOverhead:    units.Duration(250 * units.Nanosecond),
 			TurboBoost1:        1.30,
 			TurboFlatCores:     4,
+			L1BandwidthPerCore: 172.8 * units.GBPerSec,
+			L2BandwidthPerCore: 86.4 * units.GBPerSec,
+			ECMCoreOverlap:     1,
 		},
 		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewAries() },
 	},
@@ -97,6 +103,9 @@ var legacySystems = []*System{
 			PerCallOverhead:    units.Duration(250 * units.Nanosecond),
 			TurboBoost1:        1.35,
 			TurboFlatCores:     4,
+			L1BandwidthPerCore: 134.4 * units.GBPerSec,
+			L2BandwidthPerCore: 67.2 * units.GBPerSec,
+			ECMCoreOverlap:     1,
 		},
 		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewFDRInfiniBand() },
 	},
@@ -121,6 +130,9 @@ var legacySystems = []*System{
 			PerCallOverhead:    units.Duration(250 * units.Nanosecond),
 			TurboBoost1:        1.45,
 			TurboFlatCores:     4,
+			L1BandwidthPerCore: 153.6 * units.GBPerSec,
+			L2BandwidthPerCore: 76.8 * units.GBPerSec,
+			ECMCoreOverlap:     1,
 		},
 		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewOmniPath() },
 	},
@@ -145,6 +157,10 @@ var legacySystems = []*System{
 			PerCallOverhead:    units.Duration(250 * units.Nanosecond),
 			TurboBoost1:        1.14,
 			TurboFlatCores:     8,
+			L1BandwidthPerCore: 140.8 * units.GBPerSec,
+			L2BandwidthPerCore: 70.4 * units.GBPerSec,
+			ECMCoreOverlap:     0.5,
+			ECMMemOverlap:      0.2,
 		},
 		NewFabric: func(int) *netmodel.Fabric { return netmodel.NewEDRInfiniBand() },
 	},

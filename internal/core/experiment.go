@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 )
 
@@ -78,6 +79,13 @@ type Options struct {
 	// only through the experiments that read it. Empty means the
 	// experiment's own default (A64FX).
 	Machine string
+	// Model selects the compute-phase pricing model for every simulated
+	// job: the calibrated roofline (the empty default, what every golden
+	// artifact pins) or the ECM memory-hierarchy model
+	// (perfmodel.ModelECM). The model changes simulated results, so it
+	// is part of ArtifactKey — ECM artifacts get their own cache and
+	// golden slots while stock roofline digests stay byte-identical.
+	Model perfmodel.Model
 }
 
 // Instrumentation is the shared observability/network-pricing bundle
@@ -91,7 +99,7 @@ type Instrumentation = simmpi.Instrumentation
 // benchmark Configs embed. Experiment Run functions pass it through
 // verbatim so every simulated job carries the sweep's instrumentation.
 func (o Options) Instr() Instrumentation {
-	return Instrumentation{Trace: o.Trace, Congestion: o.Congestion, Counters: o.Counters}
+	return Instrumentation{Trace: o.Trace, Congestion: o.Congestion, Counters: o.Counters, Model: o.Model}
 }
 
 // OptionsKey is the comparable projection of Options onto the fields
@@ -102,11 +110,17 @@ type OptionsKey struct {
 	Quick      bool
 	Congestion bool
 	Machine    string
+	Model      perfmodel.Model
 }
 
 // ArtifactKey projects the options onto their artifact-affecting fields.
+// The model is canonicalized so "" and "roofline" share one cache slot.
 func (o Options) ArtifactKey() OptionsKey {
-	return OptionsKey{Quick: o.Quick, Congestion: o.Congestion, Machine: o.Machine}
+	model := o.Model
+	if model == "" {
+		model = perfmodel.ModelRoofline
+	}
+	return OptionsKey{Quick: o.Quick, Congestion: o.Congestion, Machine: o.Machine, Model: model}
 }
 
 // Cell is one measured value with an optional paper reference.

@@ -10,6 +10,7 @@ import (
 
 	"a64fxbench/internal/arch"
 	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
 	"a64fxbench/internal/spec"
 	"a64fxbench/internal/units"
@@ -36,6 +37,11 @@ type Request struct {
 	// Engine selects the simulation substrate: "", "goroutine" or
 	// "event" (core.Options.Engine).
 	Engine string `json:"engine,omitempty"`
+	// Model selects the compute-phase pricing model: "", "roofline" or
+	// "ecm" (core.Options.Model). Normalization canonicalizes the empty
+	// default to "roofline"; the model participates in Digest, so an
+	// ECM request caches digest-distinct from the stock roofline one.
+	Model string `json:"model,omitempty"`
 	// Format selects the output encoding. Valid values depend on the
 	// operation: run/sweep take text|chart|json|csv, trace takes
 	// text|chrome|json, links text|json, counters text|json|csv.
@@ -163,6 +169,11 @@ func (r Request) normalized(strictIDs bool) (Request, error) {
 		return Request{}, fmt.Errorf("request: %w", err)
 	}
 	out.Engine = string(eng)
+	model, err := perfmodel.ParseModel(out.Model)
+	if err != nil {
+		return Request{}, fmt.Errorf("request: %w", err)
+	}
+	out.Model = string(model)
 	if out.Format == "" {
 		out.Format = "text"
 	}
@@ -210,7 +221,11 @@ func (r Request) Options() (Options, error) {
 	if err != nil {
 		return Options{}, err
 	}
-	return Options{Quick: r.Quick, Congestion: r.Congestion, Engine: eng, Machine: r.Machine}, nil
+	model, err := perfmodel.ParseModel(r.Model)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{Quick: r.Quick, Congestion: r.Congestion, Engine: eng, Machine: r.Machine, Model: model}, nil
 }
 
 // CounterConfig builds the PMU configuration the counters operation
@@ -250,5 +265,6 @@ func (r Request) Digest() string {
 	b = binary.BigEndian.AppendUint64(b, uint64(r.PeriodNS))
 	str(r.Machine)
 	str(string(r.Spec))
+	str(r.Model)
 	return fmt.Sprintf("%x", sha256.Sum256(b))
 }

@@ -131,6 +131,7 @@ func TestRequestDigestDiscriminates(t *testing.T) {
 		"format":     {IDs: []string{"table1"}, Format: "json"},
 		"engine":     {IDs: []string{"table1"}, Engine: "event"},
 		"period":     {IDs: []string{"table1"}, PeriodNS: 1000},
+		"model":      {IDs: []string{"table1"}, Model: "ecm"},
 		"ids":        {IDs: []string{"table1", "table3"}},
 	}
 	for name, r := range variants {

@@ -170,6 +170,17 @@ var (
 	SentBytes ID
 	RecvMsgs  ID
 	RecvBytes ID
+
+	// ECM-mode phase attribution: the raw per-level transfer phases of
+	// the ECM model (register↔L1, L1↔L2, memory) and the overlap credit
+	// its composition rule subtracts from their sum. All zero under the
+	// roofline model, so roofline snapshots are unchanged by their
+	// existence. Time = TimeFlops + ECML1 + ECML2 + ECMMem + StallCall
+	// − ECMHidden for every ECM compute phase.
+	ECML1     ID
+	ECML2     ID
+	ECMMem    ID
+	ECMHidden ID
 )
 
 func register(name, unit string, kind Kind, desc string) ID {
@@ -208,6 +219,10 @@ func init() {
 		collByOp[c] = register("coll."+c.String()+".ns", "ns", Time,
 			"virtual time inside "+c.String()+" collectives (outermost only)")
 	}
+	ECML1 = register("ecm.l1.ns", "ns", Time, "ECM register↔L1 transfer phase of compute phases")
+	ECML2 = register("ecm.l2.ns", "ns", Time, "ECM L1↔L2 transfer phase of compute phases")
+	ECMMem = register("ecm.mem.ns", "ns", Time, "ECM memory transfer phase of compute phases")
+	ECMHidden = register("ecm.hidden.ns", "ns", Time, "ECM overlap credit subtracted from the phase sum")
 }
 
 // NumCounters reports the registry size (the length of value vectors).

@@ -221,7 +221,10 @@ func A64FXPeaks(jt JobTrace) Peaks {
 
 // AppendCounterEntries flattens one job's counter report into snapshot
 // entries under the given key prefix: the makespan, every nonzero
-// counter total under "ctr/", and the derived rates under "rate/".
+// counter total under "ctr/", the derived rates under "rate/", and
+// each region phase's attributed time and work under "phase/". The
+// phase entries give the regression sentinel per-phase resolution and
+// are what the roofline-vs-ECM model-delta table compares (ModelDelta).
 func AppendCounterEntries(snap *metrics.Snapshot, prefix string, cr *CounterReport) {
 	snap.Add(prefix+"/makespan.ns", float64(cr.Makespan), metrics.Time, "ns")
 	for _, t := range cr.Totals {
@@ -232,6 +235,13 @@ func AppendCounterEntries(snap *metrics.Snapshot, prefix string, cr *CounterRepo
 	snap.Add(prefix+"/rate/net.gbps", cr.Derived.NetGBps, metrics.Rate, "gb/s")
 	snap.Add(prefix+"/rate/flop.util", cr.Derived.FlopUtil, metrics.Rate, "fraction")
 	snap.Add(prefix+"/rate/mem.util", cr.Derived.MemUtil, metrics.Rate, "fraction")
+	for _, p := range cr.Phases {
+		pp := prefix + "/phase/" + p.Label
+		snap.Add(pp+"/time.ns", float64(p.Time), metrics.Time, "ns")
+		snap.Add(pp+"/wait.ns", float64(p.Wait), metrics.Time, "ns")
+		snap.Add(pp+"/flops", float64(p.Flops), metrics.Work, "flops")
+		snap.Add(pp+"/mem.bytes", float64(p.MemBytes), metrics.Work, "bytes")
+	}
 }
 
 // WriteCounterCSV exports the jobs' aggregate counter series in long

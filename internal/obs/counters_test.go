@@ -17,6 +17,13 @@ import (
 // countedFourRankJob is fourRankJob with the virtual PMU on.
 func countedFourRankJob(t *testing.T) (obs.JobTrace, simmpi.Report) {
 	t.Helper()
+	return countedFourRankJobModel(t, "")
+}
+
+// countedFourRankJobModel is countedFourRankJob under an explicit
+// pricing model so the ECM attribution tests run the identical body.
+func countedFourRankJobModel(t *testing.T, pm perfmodel.Model) (obs.JobTrace, simmpi.Report) {
+	t.Helper()
 	sys := arch.MustGet(arch.A64FX)
 	model := sys.PerRankModel(2, 1)
 	sink := &simmpi.MemorySink{}
@@ -26,6 +33,7 @@ func countedFourRankJob(t *testing.T) (obs.JobTrace, simmpi.Report) {
 		Fabric:    sys.NewFabric(2),
 		Sink:      sink,
 		Counters:  &metrics.Config{Period: 50 * units.Microsecond},
+		Model:     pm,
 		Label:     "counted-4rank",
 	}
 	work := perfmodel.WorkProfile{
@@ -129,11 +137,42 @@ func TestPhaseCountersSumToTotals(t *testing.T) {
 		t.Errorf("phase wait %v, stall.net %v", got, want)
 	}
 	// Phase busy time covers the event-visible time counters (Elapse is
-	// not an event, so time.other.ns is deliberately absent here).
+	// not an event, so time.other.ns is deliberately absent here). The
+	// ECM terms extend the identity uniformly: a roofline job leaves
+	// every ecm.* counter at zero.
 	want := tot[metrics.TimeFlops] + tot[metrics.StallMem] + tot[metrics.StallCall] +
-		tot[metrics.StallNoise] + tot[metrics.NetInject]
+		tot[metrics.StallNoise] + tot[metrics.NetInject] +
+		tot[metrics.ECML1] + tot[metrics.ECML2] + tot[metrics.ECMMem] - tot[metrics.ECMHidden]
 	if got := float64(busyTime); got != want {
 		t.Errorf("phase time %v, time counters %v", got, want)
+	}
+}
+
+// TestPhaseCountersSumToTotalsECM re-runs the attribution property with
+// the ECM pricing model: per-phase times must still cover the extended
+// time-counter partition (core + per-level transfer phases − hidden),
+// and the per-level phase counters must actually be populated.
+func TestPhaseCountersSumToTotalsECM(t *testing.T) {
+	t.Parallel()
+	jt, rep := countedFourRankJobModel(t, perfmodel.ModelECM)
+	cr := obs.BuildCounterReport(jt, obs.A64FXPeaks(jt))
+	if cr == nil || len(cr.Phases) == 0 {
+		t.Fatal("no phase attribution")
+	}
+	var busyTime units.Duration
+	for _, p := range cr.Phases {
+		busyTime += p.Time
+	}
+	tot := rep.Counters.Totals()
+	if tot[metrics.ECML1] <= 0 || tot[metrics.ECML2] <= 0 || tot[metrics.ECMMem] <= 0 {
+		t.Fatalf("ECM job recorded no per-level phases: L1 %v, L2 %v, mem %v",
+			tot[metrics.ECML1], tot[metrics.ECML2], tot[metrics.ECMMem])
+	}
+	want := tot[metrics.TimeFlops] + tot[metrics.StallMem] + tot[metrics.StallCall] +
+		tot[metrics.StallNoise] + tot[metrics.NetInject] +
+		tot[metrics.ECML1] + tot[metrics.ECML2] + tot[metrics.ECMMem] - tot[metrics.ECMHidden]
+	if got := float64(busyTime); got != want {
+		t.Errorf("phase time %v, extended time counters %v", got, want)
 	}
 }
 

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/units"
+)
+
+// ModelDeltaRow is one predicted time compared across two pricing
+// models: a job makespan or one region phase's attributed busy time.
+type ModelDeltaRow struct {
+	// Key is the snapshot key minus its "/time.ns" (phase) or ".ns"
+	// (makespan) suffix, e.g. "table3/000 hpcg p=4/phase/cg-iter".
+	Key string `json:"key"`
+	// Old and New are the predicted nanoseconds under each model.
+	Old float64 `json:"old_ns"`
+	New float64 `json:"new_ns"`
+	// Delta is the relative change (new-old)/old; +Inf when old is 0.
+	Delta float64 `json:"delta"`
+}
+
+// ModelDeltaReport tabulates how two compute-phase pricing models
+// disagree, per job and per region phase. It is a report, not a gate:
+// two models predicting different times is the point of having two
+// models, so nothing here fails a diff.
+type ModelDeltaReport struct {
+	// OldModel and NewModel name the models (snapshot Meta["model"]).
+	OldModel string `json:"old_model"`
+	NewModel string `json:"new_model"`
+	// Compared counts time keys present in both snapshots; Rows lists
+	// them in key order.
+	Compared int             `json:"compared"`
+	Rows     []ModelDeltaRow `json:"rows"`
+}
+
+// ModelDelta compares the predicted times of two counter snapshots
+// produced under different pricing models (e.g. roofline vs ECM). It
+// pairs every makespan and per-phase time key present in both
+// snapshots; work counters are skipped — both models price the same
+// metered work, only its time differs.
+func ModelDelta(old, new *metrics.Snapshot) *ModelDeltaReport {
+	rep := &ModelDeltaReport{
+		OldModel: old.Meta["model"],
+		NewModel: new.Meta["model"],
+	}
+	oldBy := map[string]float64{}
+	for _, e := range old.Entries {
+		if k, ok := deltaKey(e.Key); ok {
+			oldBy[k] = e.Value
+		}
+	}
+	for _, e := range new.Entries {
+		k, ok := deltaKey(e.Key)
+		if !ok {
+			continue
+		}
+		o, both := oldBy[k]
+		if !both {
+			continue
+		}
+		rep.Compared++
+		row := ModelDeltaRow{Key: k, Old: o, New: e.Value}
+		if o != 0 {
+			row.Delta = (e.Value - o) / o
+		} else if e.Value != 0 {
+			row.Delta = math.Inf(1)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Key < rep.Rows[j].Key })
+	return rep
+}
+
+// deltaKey reduces a snapshot key to its model-delta identity: job
+// makespans keep their prefix, phase busy times keep "<job>/phase/<p>".
+// Every other key (counter totals, rates, waits, work) is skipped.
+func deltaKey(key string) (string, bool) {
+	if strings.HasSuffix(key, "/makespan.ns") {
+		return strings.TrimSuffix(key, ".ns"), true
+	}
+	if i := strings.Index(key, "/phase/"); i >= 0 && strings.HasSuffix(key, "/time.ns") {
+		return strings.TrimSuffix(key, "/time.ns"), true
+	}
+	return "", false
+}
+
+// Render writes the aligned model-delta table.
+func (r *ModelDeltaReport) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "model delta: %s → %s (%d predicted times compared)\n",
+		r.OldModel, r.NewModel, r.Compared); err != nil {
+		return err
+	}
+	width := len("key")
+	for _, row := range r.Rows {
+		if len(row.Key) > width {
+			width = len(row.Key)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %-*s  %14s  %14s  %9s\n",
+		width, "key", r.OldModel, r.NewModel, "delta"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "  %-*s  %14v  %14v  %+8.1f%%\n",
+			width, row.Key, units.Duration(row.Old), units.Duration(row.New),
+			100*row.Delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}

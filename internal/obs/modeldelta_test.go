@@ -1,0 +1,59 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/obs"
+)
+
+// TestModelDelta builds two tiny snapshots by hand and checks the
+// pairing rules: makespans and phase times compare, rates and work
+// counters are ignored, keys missing on either side are skipped.
+func TestModelDelta(t *testing.T) {
+	t.Parallel()
+	old := metrics.NewSnapshot(map[string]string{"model": "roofline"})
+	old.Add("t3/000 job/makespan.ns", 100, metrics.Time, "ns")
+	old.Add("t3/000 job/phase/iter/time.ns", 80, metrics.Time, "ns")
+	old.Add("t3/000 job/phase/iter/flops", 5, metrics.Work, "flops")
+	old.Add("t3/000 job/rate/gflops", 2, metrics.Rate, "gflop/s")
+	old.Add("t3/000 job/phase/only-old/time.ns", 7, metrics.Time, "ns")
+
+	new := metrics.NewSnapshot(map[string]string{"model": "ecm"})
+	new.Add("t3/000 job/makespan.ns", 150, metrics.Time, "ns")
+	new.Add("t3/000 job/phase/iter/time.ns", 40, metrics.Time, "ns")
+	new.Add("t3/000 job/phase/iter/flops", 5, metrics.Work, "flops")
+	new.Add("t3/000 job/rate/gflops", 3, metrics.Rate, "gflop/s")
+	new.Add("t3/000 job/phase/only-new/time.ns", 9, metrics.Time, "ns")
+
+	rep := obs.ModelDelta(old, new)
+	if rep.OldModel != "roofline" || rep.NewModel != "ecm" {
+		t.Fatalf("models %q → %q", rep.OldModel, rep.NewModel)
+	}
+	if rep.Compared != 2 || len(rep.Rows) != 2 {
+		t.Fatalf("compared %d rows %d, want 2/2", rep.Compared, len(rep.Rows))
+	}
+	mk := rep.Rows[0]
+	if mk.Key != "t3/000 job/makespan" || mk.Old != 100 || mk.New != 150 || mk.Delta != 0.5 {
+		t.Errorf("makespan row %+v", mk)
+	}
+	ph := rep.Rows[1]
+	if ph.Key != "t3/000 job/phase/iter" || ph.Delta != -0.5 {
+		t.Errorf("phase row %+v", ph)
+	}
+	var b bytes.Buffer
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"roofline → ecm", "phase/iter", "+50.0%", "-50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "only-old") || strings.Contains(out, "only-new") || strings.Contains(out, "gflops") {
+		t.Errorf("render includes unpaired or non-time keys:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+// Paper-pinned validation of the ECM mode: the shipped A64FX spec,
+// priced by ECMBreakdown, must reproduce the published single-node
+// STREAM-triad and SpMV numbers of the model's source study
+// (arXiv:2103.03013) within the tolerance bands committed in testdata.
+// The test lives in the external package so it can compile the real
+// A64FX spec through internal/arch without an import cycle.
+package perfmodel_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"a64fxbench/internal/arch"
+	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/units"
+)
+
+// paperCase is one published measurement the ECM mode must land on.
+type paperCase struct {
+	Name         string  `json:"name"`
+	Class        string  `json:"class"`
+	Elems        float64 `json:"elems"`
+	FlopsPerElem float64 `json:"flops_per_elem"`
+	BytesPerElem float64 `json:"bytes_per_elem"`
+	Cores        int     `json:"cores"`
+	Metric       string  `json:"metric"` // "gbps" or "gflops"
+	Paper        float64 `json:"paper"`
+	Tol          float64 `json:"tol"`
+}
+
+type paperFile struct {
+	Source string      `json:"source"`
+	Cases  []paperCase `json:"cases"`
+}
+
+// classByName maps the testdata spellings onto kernel classes.
+var classByName = map[string]perfmodel.KernelClass{
+	"VectorOp": perfmodel.VectorOp,
+	"SpMV":     perfmodel.SpMV,
+}
+
+func TestECMPaperPins(t *testing.T) {
+	t.Parallel()
+	raw, err := os.ReadFile(filepath.Join("testdata", "ecm_paper.json"))
+	if err != nil {
+		t.Fatalf("reading pins: %v", err)
+	}
+	var pins paperFile
+	if err := json.Unmarshal(raw, &pins); err != nil {
+		t.Fatalf("parsing pins: %v", err)
+	}
+	if pins.Source == "" || len(pins.Cases) == 0 {
+		t.Fatal("testdata carries no source attribution or no cases")
+	}
+	m := arch.MustGet(arch.A64FX).CostModel()
+	for _, c := range pins.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			class, ok := classByName[c.Class]
+			if !ok {
+				t.Fatalf("unknown kernel class %q", c.Class)
+			}
+			if c.Paper <= 0 || c.Tol <= 0 || c.Tol >= 1 {
+				t.Fatalf("bad pin: paper %v, tol %v", c.Paper, c.Tol)
+			}
+			w := perfmodel.WorkProfile{
+				Class: class,
+				Flops: units.Flops(c.Elems * c.FlopsPerElem),
+				Bytes: units.Bytes(c.Elems * c.BytesPerElem),
+			}
+			bd := m.ECMBreakdown(w, perfmodel.PhaseOptions{Cores: c.Cores})
+			if bd.Time <= 0 {
+				t.Fatalf("non-positive ECM time %v", bd.Time)
+			}
+			// bytes/ns ≡ GB/s and flops/ns ≡ GFLOP/s.
+			var got float64
+			switch c.Metric {
+			case "gbps":
+				got = float64(w.Bytes) / float64(bd.Time)
+			case "gflops":
+				got = float64(w.Flops) / float64(bd.Time)
+			default:
+				t.Fatalf("unknown metric %q", c.Metric)
+			}
+			dev := (got - c.Paper) / c.Paper
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > c.Tol {
+				t.Errorf("%s on %d cores: ECM predicts %.1f %s, paper %.1f (%.1f%% off, tol %.0f%%)",
+					c.Name, c.Cores, got, c.Metric, c.Paper, 100*dev, 100*c.Tol)
+			}
+		})
+	}
+}

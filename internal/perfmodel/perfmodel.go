@@ -250,6 +250,18 @@ type NodeCapability struct {
 	// boost holds; beyond it the boost decays linearly to 1.0 at the
 	// full core count.
 	TurboFlatCores int
+	// L1BandwidthPerCore and L2BandwidthPerCore are the per-core cache
+	// bandwidths the ECM model prices register↔L1 and L1↔L2 transfers
+	// at; 0 selects the port-width defaults (see L1Bandwidth /
+	// L2Bandwidth in ecm.go). The roofline model never reads them.
+	L1BandwidthPerCore units.ByteRate
+	L2BandwidthPerCore units.ByteRate
+	// ECMCoreOverlap and ECMMemOverlap are the ECM composition knobs in
+	// [0, 1]: the fraction of in-core time that overlaps data transfers
+	// (0 = the A64FX serial rule) and the fraction of the memory phase
+	// hidden under the upstream phases. See ecm.go.
+	ECMCoreOverlap float64
+	ECMMemOverlap  float64
 }
 
 // TurboFactor reports the clock boost when `active` cores are busy.

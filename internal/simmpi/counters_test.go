@@ -24,14 +24,22 @@ import (
 // call may attribute time).
 func countedJob(t *testing.T, cfg *metrics.Config) simmpi.Report {
 	t.Helper()
+	return countedJobModel(t, cfg, "")
+}
+
+// countedJobModel is countedJob under an explicit pricing model, so the
+// ECM-mode tests exercise the identical rank body.
+func countedJobModel(t *testing.T, cfg *metrics.Config, model perfmodel.Model) simmpi.Report {
+	t.Helper()
 	sys := arch.MustGet(arch.A64FX)
-	model := sys.PerRankModel(3, 1)
+	rankModel := sys.PerRankModel(3, 1)
 	jc := simmpi.JobConfig{
 		Procs: 6, Nodes: 2, ThreadsPerRank: 1,
-		RankModel: func(int) *perfmodel.CostModel { return model },
+		RankModel: func(int) *perfmodel.CostModel { return rankModel },
 		Fabric:    sys.NewFabric(2),
 		NoiseProb: 0.2, NoiseDuration: 5 * units.Microsecond,
 		Counters: cfg,
+		Model:    model,
 		Label:    "counted-6rank",
 	}
 	spmv := perfmodel.WorkProfile{Class: perfmodel.SpMV, Flops: 2 * units.MFlop, Bytes: 12 * units.MiB}
@@ -159,17 +167,7 @@ func countedJobNoCheck(t *testing.T) simmpi.Report {
 func TestCounterTimesPartitionBusy(t *testing.T) {
 	t.Parallel()
 	rep := countedJob(t, &metrics.Config{})
-	for i, rc := range rep.Counters.Ranks {
-		busy := rc.Value(metrics.TimeFlops) + rc.Value(metrics.StallMem) +
-			rc.Value(metrics.StallCall) + rc.Value(metrics.StallNoise) +
-			rc.Value(metrics.NetInject) + rc.Value(metrics.TimeOther)
-		if want := float64(rep.Ranks[i].Busy); busy != want {
-			t.Errorf("rank %d: time counters sum %v, busy %v", i, busy, want)
-		}
-		if wait := rc.Value(metrics.StallNet); wait != float64(rep.Ranks[i].Wait) {
-			t.Errorf("rank %d: stall.net %v, wait %v", i, wait, rep.Ranks[i].Wait)
-		}
-	}
+	checkBusyPartition(t, rep)
 	// Job-level identities against the report's own accounting.
 	tot := rep.Counters.Totals()
 	var flops float64
@@ -210,6 +208,64 @@ func TestCounterTimesPartitionBusy(t *testing.T) {
 	}
 	if coll > busyWait {
 		t.Errorf("collective time %v exceeds total busy+wait %v (double counting?)", coll, busyWait)
+	}
+}
+
+// checkBusyPartition asserts the uniform busy-time identity that holds
+// under BOTH pricing models:
+//
+//	busy = time.flops + stall.mem + stall.call + stall.noise
+//	     + net.inject + time.other
+//	     + ecm.l1 + ecm.l2 + ecm.mem − ecm.hidden
+//
+// A roofline job leaves every ecm.* counter at zero, so the extended
+// formula degrades to the classic partition; an ECM job leaves
+// stall.mem at zero and carries the per-level transfer phases instead.
+func checkBusyPartition(t *testing.T, rep simmpi.Report) {
+	t.Helper()
+	for i, rc := range rep.Counters.Ranks {
+		busy := rc.Value(metrics.TimeFlops) + rc.Value(metrics.StallMem) +
+			rc.Value(metrics.StallCall) + rc.Value(metrics.StallNoise) +
+			rc.Value(metrics.NetInject) + rc.Value(metrics.TimeOther) +
+			rc.Value(metrics.ECML1) + rc.Value(metrics.ECML2) +
+			rc.Value(metrics.ECMMem) - rc.Value(metrics.ECMHidden)
+		if want := float64(rep.Ranks[i].Busy); busy != want {
+			t.Errorf("rank %d: time counters sum %v, busy %v", i, busy, want)
+		}
+		if wait := rc.Value(metrics.StallNet); wait != float64(rep.Ranks[i].Wait) {
+			t.Errorf("rank %d: stall.net %v, wait %v", i, wait, rep.Ranks[i].Wait)
+		}
+	}
+}
+
+// TestCounterTimesPartitionBusyECM is the ECM twin of the partition
+// test: the same job priced by the ECM model must satisfy the extended
+// identity with real per-level phase counters, keep the roofline-only
+// stall.mem at zero, and preserve the cache hierarchy invariant.
+func TestCounterTimesPartitionBusyECM(t *testing.T) {
+	t.Parallel()
+	rep := countedJobModel(t, &metrics.Config{}, perfmodel.ModelECM)
+	checkBusyPartition(t, rep)
+	tot := rep.Counters.Totals()
+	if tot[metrics.ECML1] <= 0 || tot[metrics.ECML2] <= 0 || tot[metrics.ECMMem] <= 0 {
+		t.Errorf("ECM job recorded no per-level phases: L1 %v, L2 %v, mem %v",
+			tot[metrics.ECML1], tot[metrics.ECML2], tot[metrics.ECMMem])
+	}
+	if tot[metrics.StallMem] != 0 {
+		t.Errorf("ECM job attributed roofline stall.mem %v, want 0", tot[metrics.StallMem])
+	}
+	if tot[metrics.MemL1] < tot[metrics.MemL2] || tot[metrics.MemL2] < tot[metrics.MemDRAM] {
+		t.Errorf("cache traffic not monotone: L1 %v, L2 %v, DRAM %v",
+			tot[metrics.MemL1], tot[metrics.MemL2], tot[metrics.MemDRAM])
+	}
+	// The model changes times, never metered work: flops and traffic
+	// must match the roofline job byte-for-byte, the makespan must not.
+	roofline := countedJob(t, &metrics.Config{})
+	if rep.TotalFlops != roofline.TotalFlops {
+		t.Errorf("ECM flops %v differ from roofline %v", rep.TotalFlops, roofline.TotalFlops)
+	}
+	if rep.Makespan == roofline.Makespan {
+		t.Error("ECM makespan equals roofline makespan — model not applied")
 	}
 }
 

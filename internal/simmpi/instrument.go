@@ -1,6 +1,9 @@
 package simmpi
 
-import "a64fxbench/internal/metrics"
+import (
+	"a64fxbench/internal/metrics"
+	"a64fxbench/internal/perfmodel"
+)
 
 // Instrumentation bundles the per-run observability and network-pricing
 // options that every benchmark Config embeds. Before it existed, each of
@@ -25,12 +28,18 @@ type Instrumentation struct {
 	// Counters enables the virtual PMU for every simulated job (see
 	// JobConfig.Counters); nil disables it.
 	Counters *metrics.Config
+	// Model selects the compute-phase pricing model (JobConfig.Model):
+	// the calibrated roofline (the empty default) or the ECM memory-
+	// hierarchy model. Like Congestion it changes simulated results and
+	// is part of the artifact cache key.
+	Model perfmodel.Model
 }
 
 // Apply copies the bundle into a job configuration. Benchmarks call it
-// instead of assigning the three fields by hand.
+// instead of assigning the fields by hand.
 func (i Instrumentation) Apply(job *JobConfig) {
 	job.Sink = i.Trace
 	job.Congestion = i.Congestion
 	job.Counters = i.Counters
+	job.Model = i.Model
 }

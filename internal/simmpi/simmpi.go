@@ -130,6 +130,12 @@ type JobConfig struct {
 	// engines; Engine is therefore an execution detail, like the worker
 	// count of a sweep, and never part of an artifact's identity.
 	Engine Engine
+	// Model selects the analytic model pricing compute phases: the
+	// calibrated roofline (the empty default) or the ECM memory-
+	// hierarchy model (perfmodel.ModelECM). Unlike Engine, the model
+	// changes simulated results, so it is part of every artifact's
+	// identity (core.OptionsKey.Model).
+	Model perfmodel.Model
 }
 
 // validate normalises and checks the configuration.
@@ -172,6 +178,11 @@ func (c *JobConfig) validate() error {
 	default:
 		return fmt.Errorf("simmpi: unknown engine %q", c.Engine)
 	}
+	model, err := perfmodel.ParseModel(string(c.Model))
+	if err != nil {
+		return err
+	}
+	c.Model = model
 	return nil
 }
 
@@ -286,7 +297,27 @@ func (r *Rank) Compute(w perfmodel.WorkProfile) {
 		FastMath: r.job.cfg.FastMath,
 	}
 	var d units.Duration
-	if r.pmu != nil {
+	switch {
+	case r.pmu != nil && r.job.cfg.Model == perfmodel.ModelECM:
+		// ECM mode: the per-level transfer phases are first-class
+		// counters. TimeFlops carries the in-core phase; the memory
+		// wait is split across the ecm.* level counters instead of
+		// stall.mem, and the overlap credit is subtracted so
+		// TimeFlops + ecm.l1 + ecm.l2 + ecm.mem + stall.call −
+		// ecm.hidden == phase time exactly.
+		bd := r.model.ECMBreakdown(w, opt)
+		d = bd.Time
+		r.pmu.Add(metrics.FlopsFor(w.Class), float64(w.Flops))
+		r.pmu.Add(metrics.MemDRAM, float64(w.Bytes))
+		r.pmu.Add(metrics.MemL2, float64(bd.L2Bytes))
+		r.pmu.Add(metrics.MemL1, float64(bd.L1Bytes))
+		r.pmu.AddTime(metrics.TimeFlops, bd.CoreTime)
+		r.pmu.AddTime(metrics.ECML1, bd.L1Time)
+		r.pmu.AddTime(metrics.ECML2, bd.L2Time)
+		r.pmu.AddTime(metrics.ECMMem, bd.MemTime)
+		r.pmu.AddTime(metrics.ECMHidden, bd.Hidden)
+		r.pmu.AddTime(metrics.StallCall, bd.Overhead)
+	case r.pmu != nil:
 		// PhaseBreakdown evaluates the same roofline terms as PhaseTime
 		// (bd.Time is bit-identical), plus the counter-grade split.
 		bd := r.model.PhaseBreakdown(w, opt)
@@ -298,8 +329,8 @@ func (r *Rank) Compute(w perfmodel.WorkProfile) {
 		r.pmu.AddTime(metrics.TimeFlops, bd.FlopTime)
 		r.pmu.AddTime(metrics.StallMem, bd.MemStall)
 		r.pmu.AddTime(metrics.StallCall, bd.Overhead)
-	} else {
-		d = r.model.PhaseTime(w, opt)
+	default:
+		d = r.model.PhaseTimeFor(r.job.cfg.Model, w, opt)
 	}
 	start := r.clock.Now()
 	r.clock.Advance(d)

@@ -63,6 +63,10 @@ const (
 	maxProcessorsPerNode = 64
 	maxVectorBits        = 1 << 16
 	maxMaxNodes          = 1 << 24 // 16.7M nodes
+	// maxCacheBandwidth caps the per-core L1/L2 bandwidths the ECM
+	// model accepts: 100 TB/s per core sits two orders of magnitude
+	// above any cache port width in the format's reach.
+	maxCacheBandwidth = units.ByteRate(100e12)
 )
 
 // Compile validates a resolved spec and builds the Machine. Every
@@ -183,6 +187,31 @@ func (s *Spec) compileNode() (perfmodel.NodeCapability, error) {
 	if domBW <= 0 || coreBW <= 0 {
 		return zero, fieldErrf("node.domain_bandwidth", "bandwidths must be > 0")
 	}
+	// The ECM fields are optional: zero values select the model's
+	// defaults (port-width cache bandwidths, fully additive overlap).
+	var l1bw, l2bw units.ByteRate
+	if n.L1Bandwidth != "" {
+		if l1bw, err = parseByteRate("node.l1_bandwidth", n.L1Bandwidth); err != nil {
+			return zero, err
+		}
+		if l1bw <= 0 || l1bw > maxCacheBandwidth {
+			return zero, fieldErrf("node.l1_bandwidth", "per-core cache bandwidth must be in (0, %s]", FormatByteRate(maxCacheBandwidth))
+		}
+	}
+	if n.L2Bandwidth != "" {
+		if l2bw, err = parseByteRate("node.l2_bandwidth", n.L2Bandwidth); err != nil {
+			return zero, err
+		}
+		if l2bw <= 0 || l2bw > maxCacheBandwidth {
+			return zero, fieldErrf("node.l2_bandwidth", "per-core cache bandwidth must be in (0, %s]", FormatByteRate(maxCacheBandwidth))
+		}
+	}
+	if !(n.ECMCoreOverlap >= 0 && n.ECMCoreOverlap <= 1) {
+		return zero, fieldErrf("node.ecm_core_overlap", "overlap fraction must be in [0, 1], got %g", n.ECMCoreOverlap)
+	}
+	if !(n.ECMMemOverlap >= 0 && n.ECMMemOverlap <= 1) {
+		return zero, fieldErrf("node.ecm_mem_overlap", "overlap fraction must be in [0, 1], got %g", n.ECMMemOverlap)
+	}
 	if capacity <= 0 || l2 <= 0 {
 		return zero, fieldErrf("node.domain_capacity", "capacities must be > 0")
 	}
@@ -211,6 +240,10 @@ func (s *Spec) compileNode() (perfmodel.NodeCapability, error) {
 		PerCallOverhead:    overhead,
 		TurboBoost1:        n.TurboBoost1,
 		TurboFlatCores:     n.TurboFlatCores,
+		L1BandwidthPerCore: l1bw,
+		L2BandwidthPerCore: l2bw,
+		ECMCoreOverlap:     n.ECMCoreOverlap,
+		ECMMemOverlap:      n.ECMMemOverlap,
 	}, nil
 }
 

@@ -21,6 +21,9 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"base":"A64FX","name":"Y","efficiency":{"nope":{"compute":2}}}`))
 	f.Add([]byte(`{"name":"X","fabric":{"kind":"custom","topology":"moebius"}}`))
 	f.Add([]byte(`{"name":"X","anchors":{"triad_bandwidth":"-1 GB/s","peak_flops":"NaN F/s"}}`))
+	f.Add([]byte(`{"name":"X","node":{"l1_bandwidth":"-1 GB/s","l2_bandwidth":"Inf TB/s"}}`))
+	f.Add([]byte(`{"base":"A64FX","name":"Y","node":{"ecm_core_overlap":-0.1,"ecm_mem_overlap":2}}`))
+	f.Add([]byte(`{"base":"A64FX","name":"Z","node":{"l1_bandwidth":"512 GB/s","ecm_core_overlap":0.5}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Parse(data)
 		if err != nil {

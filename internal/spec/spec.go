@@ -88,6 +88,20 @@ type NodeSpec struct {
 	L2PerDomain string `json:"l2_per_domain,omitempty"`
 	// PerCallOverhead is the fixed cost per kernel invocation.
 	PerCallOverhead string `json:"per_call_overhead,omitempty"`
+	// L1Bandwidth and L2Bandwidth are the per-core cache bandwidths the
+	// ECM model prices register↔L1 and L1↔L2 transfers at, e.g.
+	// "140.8 GB/s". When omitted they default to 64 and 32 bytes/cycle
+	// per core respectively (derived from the scalar flop rate). The
+	// roofline model ignores them.
+	L1Bandwidth string `json:"l1_bandwidth,omitempty"`
+	L2Bandwidth string `json:"l2_bandwidth,omitempty"`
+	// ECMCoreOverlap and ECMMemOverlap are the ECM composition knobs in
+	// [0, 1]: the fraction of in-core execution that overlaps data
+	// transfers (0 = the A64FX serial rule, 1 = the classic x86 rule)
+	// and the fraction of the memory transfer phase hidden under the
+	// upstream core+L1+L2 phases. Both default to 0 (fully additive).
+	ECMCoreOverlap float64 `json:"ecm_core_overlap,omitempty"`
+	ECMMemOverlap  float64 `json:"ecm_mem_overlap,omitempty"`
 	// TurboBoost1 is the one-active-core clock boost factor (0 or ≥ 1;
 	// 0 means no turbo, the A64FX case).
 	TurboBoost1 float64 `json:"turbo_boost1,omitempty"`

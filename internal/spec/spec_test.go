@@ -66,6 +66,12 @@ func TestFieldErrors(t *testing.T) {
 			[]string{"fabric.kind", "tofud", "custom"}},
 		{"efficiency out of range", strings.Replace(canon, `{"compute":0.05,"memory":0.653}`, `{"compute":1.7,"memory":0.653}`, 1),
 			[]string{"efficiency.vecop"}},
+		{"negative l1 bandwidth", strings.Replace(canon, `"l1_bandwidth":"140.8 GB/s"`, `"l1_bandwidth":"-140.8 GB/s"`, 1),
+			[]string{"field node.l1_bandwidth", "cache bandwidth"}},
+		{"absurd l2 bandwidth", strings.Replace(canon, `"l2_bandwidth":"70.4 GB/s"`, `"l2_bandwidth":"9000 TB/s"`, 1),
+			[]string{"field node.l2_bandwidth", "cache bandwidth"}},
+		{"overlap out of range", strings.Replace(canon, `"ecm_mem_overlap":0.4`, `"ecm_mem_overlap":1.5`, 1),
+			[]string{"field node.ecm_mem_overlap", "overlap fraction must be in [0, 1]"}},
 	}
 	for _, tc := range cases {
 		tc := tc

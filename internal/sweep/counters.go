@@ -63,6 +63,11 @@ func CounterSnapshot(ctx context.Context, eng *Engine, ids []string, opt core.Op
 		"quick":      strconv.FormatBool(opt.Quick),
 		"congestion": strconv.FormatBool(opt.Congestion),
 		"period_ns":  strconv.FormatInt(int64(cfg.Period), 10),
+		// The canonical model name ("" → "roofline") identifies which
+		// pricing model produced the snapshot; `a64fxbench diff` switches
+		// to the report-only roofline-vs-ECM delta table when two
+		// snapshots disagree here.
+		"model": string(opt.ArtifactKey().Model),
 	})
 	order := make([]string, len(uniq))
 	copy(order, uniq)
