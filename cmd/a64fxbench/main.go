@@ -243,6 +243,9 @@ func main() {
 	tol := flag.Float64("tol", 0.01, "diff: relative tolerance for time and rate metrics")
 	addr := flag.String("addr", "127.0.0.1:7764", "serve: listen address")
 	queue := flag.Int("queue", 0, "serve: queued executions before 429 (0 = default 64)")
+	debugAddr := flag.String("debug-addr", "", "serve: also listen on ADDR for /debug/pprof/ (off when empty)")
+	logLevel := flag.String("log-level", "info", "serve: request-log threshold: debug, info, warn, error or off")
+	logFormat := flag.String("log-format", "json", "serve: request-log encoding: json or text")
 	specs := flag.String("specs", "", "load machine specs from DIR (default $A64FXBENCH_SPECS)")
 	machine := flag.String("machine", "", "target machine for machine-parameterized experiments (default A64FX)")
 	model := flag.String("model", "", "compute-phase pricing model: roofline (default) or ecm (memory-hierarchy)")
@@ -295,6 +298,7 @@ func main() {
 		jobs: *jobs, failFast: *failFast,
 		profile: *profile, congestion: *congestion, engine: eng, out: *outFile,
 		period: *period, tol: *tol, addr: *addr, queue: *queue,
+		debugAddr: *debugAddr, logLevel: *logLevel, logFormat: *logFormat,
 		machine: *machine, model: string(mdl),
 	}
 	// Ctrl-C cancels experiments that have not started; running ones
@@ -334,6 +338,11 @@ flags (accepted before or after the command):
   -failfast  cancel remaining experiments after the first failure
   -addr A    serve: listen address (default 127.0.0.1:7764)
   -queue N   serve: queued executions before 429 (0 = default 64)
+  -debug-addr A  serve: also listen on A for /debug/pprof/ (off when empty)
+  -log-level L   serve: request-log threshold: debug, info (default), warn,
+             error, or off to disable request logging
+  -log-format F  serve: request-log encoding: json (default, one object per
+             line on stdout) or text
   -specs DIR load machine spec files from DIR into the registry
              (default: the A64FXBENCH_SPECS environment variable)
   -machine M run machine-parameterized experiments (ext-machine) on

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -29,13 +30,28 @@ const (
 	// serving-path catastrophe (a cache miss storm, lock convoy, or
 	// accidental re-execution).
 	serveBenchP99Budget = 250.0
+	// serveBenchSpanOverheadBudget bounds how much the span layer may
+	// add to the cached-path p50, in milliseconds. A traced cache hit
+	// costs a trace allocation, a handful of spans, one tree snapshot
+	// and a recorder observe — single-digit microseconds — so 5ms is
+	// pure catastrophe headroom (an accidental sync point or per-span
+	// allocation storm), not a performance target.
+	serveBenchSpanOverheadBudget = 5.0
 )
+
+// stageQuantiles is one stage's latency summary in the snapshot.
+type stageQuantiles struct {
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
 
 // serveBenchSnapshot is the BENCH_serve.json schema. The regression
 // gates are machine-independent: non-429 errors must be zero, the cache
-// hit ratio must not fall below the baseline's (−0.01 slack), and p99
-// must stay under the absolute budget. Throughput is informational —
-// it tracks the host machine.
+// hit ratio must not fall below the baseline's (−0.01 slack), p99 must
+// stay under the absolute budget, and the span layer's p50 overhead
+// under its own budget. Throughput and the per-stage quantiles are
+// informational — they track the host machine.
 type serveBenchSnapshot struct {
 	Scenario      string  `json:"scenario"`
 	Requests      int     `json:"requests"`
@@ -47,26 +63,29 @@ type serveBenchSnapshot struct {
 	P50MS         float64 `json:"p50_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	P99BudgetMS   float64 `json:"p99_budget_ms"`
+	// Stages summarizes the span-derived per-stage histograms after the
+	// storm (cache hits exercise decode/cache-lookup/write; the warm-up
+	// contributes the execution stages).
+	Stages map[string]stageQuantiles `json:"stages,omitempty"`
+	// SpansOverheadP50MS is the storm-p50 delta between a telemetry-on
+	// and a telemetry-off server (negative values mean measurement
+	// noise exceeded the overhead).
+	SpansOverheadP50MS    float64 `json:"spans_overhead_p50_ms"`
+	SpansOverheadBudgetMS float64 `json:"spans_overhead_budget_ms"`
 }
 
-// servebenchCmd load-tests the serving layer in-process: it warms the
-// response cache with one execution of the pinned request, then fires
-// 1000 concurrent identical queries at the handler and measures
-// latency, errors and the cache hit ratio. With a baseline snapshot
-// argument it becomes the CI regression gate. -o writes the new
-// snapshot (the file CI uploads and, when re-baselining, commits).
-func servebenchCmd(cfg sweepConfig, args []string) error {
-	srv := serve.New(serve.Config{Workers: cfg.jobs})
-	h := srv.Handler()
+// stormOutcome aggregates one concurrent storm against a handler.
+type stormOutcome struct {
+	latsMS []float64 // sorted, milliseconds
+	non429 int
+	err429 int
+	wall   time.Duration
+}
 
-	// Warm: the one real execution; everything after is a cache hit.
-	warm := httptest.NewRecorder()
-	h.ServeHTTP(warm, httptest.NewRequest("POST", serveBenchEndpoint, strings.NewReader(serveBenchBody)))
-	if warm.Code != 200 {
-		return fmt.Errorf("servebench: warm-up request failed: %d %s", warm.Code, warm.Body.String())
-	}
-	wantBody := warm.Body.String()
-
+// runStorm fires serveBenchRequests concurrent pinned requests at h and
+// collects latencies and error counts. wantBody is the expected cached
+// response body.
+func runStorm(h http.Handler, wantBody string) stormOutcome {
 	type outcome struct {
 		code    int
 		latency time.Duration
@@ -93,30 +112,88 @@ func servebenchCmd(cfg sweepConfig, args []string) error {
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
-	wall := time.Since(t0)
+
+	var out stormOutcome
+	out.wall = time.Since(t0)
+	out.latsMS = make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.code == 429:
+			out.err429++
+		case o.code != 200 || !o.match:
+			out.non429++
+		}
+		out.latsMS = append(out.latsMS, o.latency.Seconds()*1000)
+	}
+	sort.Float64s(out.latsMS)
+	return out
+}
+
+// warmServer executes the pinned request once so everything after is a
+// cache hit, and returns the expected body.
+func warmServer(h http.Handler) (string, error) {
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("POST", serveBenchEndpoint, strings.NewReader(serveBenchBody)))
+	if warm.Code != 200 {
+		return "", fmt.Errorf("servebench: warm-up request failed: %d %s", warm.Code, warm.Body.String())
+	}
+	return warm.Body.String(), nil
+}
+
+// servebenchCmd load-tests the serving layer in-process: it warms the
+// response cache with one execution of the pinned request, then fires
+// 1000 concurrent identical queries at the handler and measures
+// latency, errors, the cache hit ratio and the per-stage latency
+// quantiles from span telemetry. A second storm against a telemetry-off
+// server prices the span layer itself (spans_overhead_p50_ms). With a
+// baseline snapshot argument it becomes the CI regression gate. -o
+// writes the new snapshot (the file CI uploads and, when re-baselining,
+// commits).
+func servebenchCmd(cfg sweepConfig, args []string) error {
+	srv := serve.New(serve.Config{Workers: cfg.jobs})
+	h := srv.Handler()
+	wantBody, err := warmServer(h)
+	if err != nil {
+		return err
+	}
+	storm := runStorm(h, wantBody)
 
 	snap := serveBenchSnapshot{
 		Scenario: fmt.Sprintf("POST %s %s, cached, %d concurrent",
 			serveBenchEndpoint, serveBenchBody, serveBenchRequests),
-		Requests:    serveBenchRequests,
-		Concurrency: serveBenchRequests,
-		P99BudgetMS: serveBenchP99Budget,
+		Requests:              serveBenchRequests,
+		Concurrency:           serveBenchRequests,
+		Non429Errors:          storm.non429,
+		Errors429:             storm.err429,
+		P99BudgetMS:           serveBenchP99Budget,
+		SpansOverheadBudgetMS: serveBenchSpanOverheadBudget,
 	}
-	lats := make([]float64, 0, len(outcomes))
-	for _, o := range outcomes {
-		switch {
-		case o.code == 429:
-			snap.Errors429++
-		case o.code != 200 || !o.match:
-			snap.Non429Errors++
-		}
-		lats = append(lats, o.latency.Seconds()*1000)
-	}
-	sort.Float64s(lats)
-	snap.P50MS = round2(percentile(lats, 0.50))
-	snap.P99MS = round2(percentile(lats, 0.99))
-	snap.ThroughputRPS = math.Round(float64(serveBenchRequests) / wall.Seconds())
+	snap.P50MS = round2(percentile(storm.latsMS, 0.50))
+	snap.P99MS = round2(percentile(storm.latsMS, 0.99))
+	snap.ThroughputRPS = math.Round(float64(serveBenchRequests) / storm.wall.Seconds())
 	snap.CacheHitRatio = math.Round(srv.Metrics().CacheHitRatio()*1e4) / 1e4
+
+	snap.Stages = map[string]stageQuantiles{}
+	for _, stage := range []string{"decode", "cache-lookup", "singleflight-wait", "admission", "engine-execute", "render", "write"} {
+		if srv.Metrics().StageCount(stage) == 0 {
+			continue
+		}
+		qs := srv.Metrics().StageQuantiles(stage, 0.50, 0.90, 0.99)
+		snap.Stages[stage] = stageQuantiles{
+			P50MS: round2(qs[0] * 1000), P90MS: round2(qs[1] * 1000), P99MS: round2(qs[2] * 1000),
+		}
+	}
+
+	// Price the span layer: same storm, telemetry off. The overhead
+	// gate compares cached-path p50s, the quantile least exposed to
+	// scheduler noise.
+	off := serve.New(serve.Config{Workers: cfg.jobs, DisableTelemetry: true})
+	offBody, err := warmServer(off.Handler())
+	if err != nil {
+		return err
+	}
+	offStorm := runStorm(off.Handler(), offBody)
+	snap.SpansOverheadP50MS = round2(snap.P50MS - round2(percentile(offStorm.latsMS, 0.50)))
 
 	if err := withOutput(cfg, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -125,9 +202,10 @@ func servebenchCmd(cfg sweepConfig, args []string) error {
 	}); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "servebench: %d requests, %d concurrent: %d non-429 errors, %d×429, hit ratio %.4f, %.0f req/s, p50 %.2fms, p99 %.2fms (budget %.0fms)\n",
+	fmt.Fprintf(os.Stderr, "servebench: %d requests, %d concurrent: %d non-429 errors, %d×429, hit ratio %.4f, %.0f req/s, p50 %.2fms, p99 %.2fms (budget %.0fms), span overhead p50 %+.2fms (budget %.0fms)\n",
 		snap.Requests, snap.Concurrency, snap.Non429Errors, snap.Errors429,
-		snap.CacheHitRatio, snap.ThroughputRPS, snap.P50MS, snap.P99MS, snap.P99BudgetMS)
+		snap.CacheHitRatio, snap.ThroughputRPS, snap.P50MS, snap.P99MS, snap.P99BudgetMS,
+		snap.SpansOverheadP50MS, snap.SpansOverheadBudgetMS)
 
 	// Absolute gates, baseline or not.
 	if snap.Non429Errors > 0 {
@@ -135,6 +213,10 @@ func servebenchCmd(cfg sweepConfig, args []string) error {
 	}
 	if snap.P99MS > snap.P99BudgetMS {
 		return fmt.Errorf("servebench: p99 %.2fms over the %.0fms budget", snap.P99MS, snap.P99BudgetMS)
+	}
+	if snap.SpansOverheadP50MS > snap.SpansOverheadBudgetMS {
+		return fmt.Errorf("servebench: span-layer p50 overhead %.2fms over the %.0fms budget",
+			snap.SpansOverheadP50MS, snap.SpansOverheadBudgetMS)
 	}
 	if len(args) == 0 {
 		return nil
@@ -153,6 +235,10 @@ func servebenchCmd(cfg sweepConfig, args []string) error {
 	}
 	if snap.P99MS > base.P99BudgetMS {
 		return fmt.Errorf("servebench: p99 %.2fms over the baseline budget %.0fms", snap.P99MS, base.P99BudgetMS)
+	}
+	if base.SpansOverheadBudgetMS > 0 && snap.SpansOverheadP50MS > base.SpansOverheadBudgetMS {
+		return fmt.Errorf("servebench: span-layer p50 overhead %.2fms over the baseline budget %.0fms",
+			snap.SpansOverheadP50MS, base.SpansOverheadBudgetMS)
 	}
 	fmt.Fprintf(os.Stderr, "servebench: within baseline (hit ratio %.4f ≥ %.4f, p99 %.2fms ≤ %.0fms)\n",
 		snap.CacheHitRatio, base.CacheHitRatio-0.01, snap.P99MS, base.P99BudgetMS)

@@ -46,6 +46,17 @@ type sweepConfig struct {
 	addr string
 	// queue is the serve command's queue depth before 429s.
 	queue int
+	// debugAddr, when non-empty, opens a second listener serving
+	// net/http/pprof under /debug/pprof/ (serve command only). Off by
+	// default: profiling endpoints are opt-in and never share the API
+	// listener.
+	debugAddr string
+	// logLevel is the serve command's request-log threshold: debug,
+	// info (default), warn, error, or off.
+	logLevel string
+	// logFormat is the serve command's request-log encoding: json
+	// (default) or text.
+	logFormat string
 }
 
 // request assembles the unified, serializable request descriptor from

@@ -12,6 +12,7 @@ import (
 	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
 	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/telemetry"
 )
 
 // Kind distinguishes tables from figures.
@@ -86,6 +87,12 @@ type Options struct {
 	// is part of ArtifactKey — ECM artifacts get their own cache and
 	// golden slots while stock roofline digests stay byte-identical.
 	Model perfmodel.Model
+	// Telemetry, when non-nil, is the parent span under which this
+	// execution's simulated jobs record their phase spans (the sweep
+	// engine sets one per-artifact span; the serve daemon's request
+	// root is its ancestor). Observability only: never part of
+	// ArtifactKey, never changes artifact contents.
+	Telemetry *telemetry.Span
 }
 
 // Instrumentation is the shared observability/network-pricing bundle
@@ -99,7 +106,8 @@ type Instrumentation = simmpi.Instrumentation
 // benchmark Configs embed. Experiment Run functions pass it through
 // verbatim so every simulated job carries the sweep's instrumentation.
 func (o Options) Instr() Instrumentation {
-	return Instrumentation{Trace: o.Trace, Congestion: o.Congestion, Counters: o.Counters, Model: o.Model}
+	return Instrumentation{Trace: o.Trace, Congestion: o.Congestion,
+		Counters: o.Counters, Model: o.Model, Telemetry: o.Telemetry}
 }
 
 // OptionsKey is the comparable projection of Options onto the fields

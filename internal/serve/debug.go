@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"a64fxbench/internal/obs"
+	"a64fxbench/internal/telemetry"
+)
+
+// handleDebugSlow serves the flight recorder: GET /v1/debug/slow
+// returns the retained slowest and errored requests with their full
+// span trees. format=json (the default) dumps the snapshot; format=text
+// renders each entry's span tree as an indented timing breakdown;
+// format=chrome exports one Perfetto-loadable process per entry. The
+// optional n query caps how many entries of each kind are returned.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("debug/slow: use GET"))
+		return
+	}
+	snap := s.rec.Snapshot()
+	if nq := r.URL.Query().Get("n"); nq != "" {
+		n, err := strconv.Atoi(nq)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("debug/slow: bad n %q", nq))
+			return
+		}
+		if n < len(snap.Slowest) {
+			snap.Slowest = snap.Slowest[:n]
+		}
+		if n < len(snap.Errored) {
+			snap.Errored = snap.Errored[:n]
+		}
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "flight recorder: %d requests observed, %d slow retained, %d errored retained\n\n",
+			snap.Total, len(snap.Slowest), len(snap.Errored))
+		writeEntries(w, "slowest", snap.Slowest)
+		writeEntries(w, "errored", snap.Errored)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteSpanChrome(w, append(snap.Slowest, snap.Errored...))
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("debug/slow: unknown format %q (want json, text or chrome)", format))
+	}
+}
+
+func writeEntries(w io.Writer, title string, entries []*telemetry.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "--- %s ---\n", title)
+	for _, e := range entries {
+		e.WriteText(w)
+		fmt.Fprintln(w)
+	}
+}

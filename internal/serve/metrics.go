@@ -3,35 +3,107 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
-// latencyBuckets are the fixed histogram bucket upper bounds in seconds,
-// the classic Prometheus default ladder.
+// latencyBuckets are the endpoint histograms' bucket upper bounds in
+// seconds, the classic Prometheus default ladder.
 var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// numBuckets is len(latencyBuckets) plus the +Inf overflow bucket.
-const numBuckets = 14
+// stageBuckets extends the ladder down to 10µs for the per-stage
+// histograms: request stages on the cached path (decode, cache-lookup,
+// write) complete in microseconds, and a millisecond-floor ladder would
+// flatten them all into one bucket.
+var stageBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
 
-// histogram is a fixed-bucket latency histogram.
+// histogram is a fixed-bucket latency histogram over the given sorted
+// upper bounds plus an implicit +Inf overflow bucket.
 type histogram struct {
-	counts [numBuckets]uint64 // last bucket is +Inf
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last is +Inf
 	sum    float64
 	total  uint64
 }
 
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
 func (h *histogram) observe(seconds float64) {
 	i := 0
-	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+	for i < len(h.bounds) && seconds > h.bounds[i] {
 		i++
 	}
 	h.counts[i]++
 	h.sum += seconds
 	h.total++
+}
+
+// quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the bucket that holds the target rank — the same estimate a
+// Prometheus histogram_quantile() would produce from the exposition.
+// Observations in the +Inf bucket clamp to the largest finite bound.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (target - float64(cum-c)) / float64(c)
+		return lo + (h.bounds[i]-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote
+// and newline, exactly the three escapes the text exposition defines
+// (fmt's %q would also escape characters Prometheus wants verbatim).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }
 
 // Metrics is the daemon's self-instrumentation: request counts by
@@ -44,6 +116,7 @@ type Metrics struct {
 	mu        sync.Mutex
 	requests  map[string]map[int]uint64 // endpoint → code → count
 	latency   map[string]*histogram     // endpoint → histogram
+	stages    map[string]*histogram     // span stage → histogram
 	cacheHits uint64
 	cacheMiss uint64
 	coalesced uint64
@@ -55,13 +128,24 @@ type Metrics struct {
 	queueCapacity int
 	cachedEntries func() int
 	started       time.Time
+
+	// build identity, resolved once at construction
+	buildVersion string
+	buildGo      string
 }
 
 func newMetrics() *Metrics {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
 	return &Metrics{
-		requests: make(map[string]map[int]uint64),
-		latency:  make(map[string]*histogram),
-		started:  time.Now(),
+		requests:     make(map[string]map[int]uint64),
+		latency:      make(map[string]*histogram),
+		stages:       make(map[string]*histogram),
+		started:      time.Now(),
+		buildVersion: version,
+		buildGo:      runtime.Version(),
 	}
 }
 
@@ -77,12 +161,71 @@ func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
 	byCode[code]++
 	h := m.latency[endpoint]
 	if h == nil {
-		h = &histogram{}
+		h = newHistogram(latencyBuckets)
 		m.latency[endpoint] = h
 	}
 	h.observe(d.Seconds())
 	if code == 429 {
 		m.rejected++
+	}
+}
+
+// ObserveStage records one request stage's duration from span
+// telemetry (the stage label is the span name: decode, cache-lookup,
+// singleflight-wait, admission, engine-execute, render, write).
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stages[stage]
+	if h == nil {
+		h = newHistogram(stageBuckets)
+		m.stages[stage] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// StageQuantiles estimates the given quantiles (0..1) of a stage's
+// latency in seconds, interpolated from the histogram buckets; all
+// zeros when the stage has no observations. servebench uses it for its
+// per-stage p50/p90/p99 report.
+func (m *Metrics) StageQuantiles(stage string, qs ...float64) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(qs))
+	h := m.stages[stage]
+	if h == nil {
+		return out
+	}
+	for i, q := range qs {
+		out[i] = h.quantile(q)
+	}
+	return out
+}
+
+// StageCount returns the number of observations a stage's histogram
+// holds.
+func (m *Metrics) StageCount(stage string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.stages[stage]; h != nil {
+		return h.total
+	}
+	return 0
+}
+
+// CountersSnapshot captures the daemon's counter/gauge state as a flat
+// map — what the flight recorder stamps on each retained request so a
+// slow entry also shows the server's load at the time.
+func (m *Metrics) CountersSnapshot() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return map[string]float64{
+		"cache_hits":   float64(m.cacheHits),
+		"cache_misses": float64(m.cacheMiss),
+		"coalesced":    float64(m.coalesced),
+		"rejected":     float64(m.rejected),
+		"inflight":     float64(m.inflight),
+		"queued":       float64(m.queued),
 	}
 }
 
@@ -158,9 +301,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			p("a64fxbench_serve_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+			p("a64fxbench_serve_requests_total{endpoint=\"%s\",code=\"%d\"} %d\n", escapeLabel(ep), c, m.requests[ep][c])
 		}
 	}
+
+	p("# HELP a64fxbench_serve_build_info Build metadata; the value is always 1.\n")
+	p("# TYPE a64fxbench_serve_build_info gauge\n")
+	p("a64fxbench_serve_build_info{version=\"%s\",go=\"%s\"} 1\n",
+		escapeLabel(m.buildVersion), escapeLabel(m.buildGo))
 
 	p("# HELP a64fxbench_serve_cache_hits_total Response-cache hits on cacheable endpoints.\n")
 	p("# TYPE a64fxbench_serve_cache_hits_total counter\n")
@@ -212,11 +360,32 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		var cum uint64
 		for i, ub := range latencyBuckets {
 			cum += h.counts[i]
-			p("a64fxbench_serve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+			p("a64fxbench_serve_request_seconds_bucket{endpoint=\"%s\",le=\"%g\"} %d\n", escapeLabel(ep), ub, cum)
 		}
-		p("a64fxbench_serve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
-		p("a64fxbench_serve_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		p("a64fxbench_serve_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+		p("a64fxbench_serve_request_seconds_bucket{endpoint=\"%s\",le=\"+Inf\"} %d\n", escapeLabel(ep), h.total)
+		p("a64fxbench_serve_request_seconds_sum{endpoint=\"%s\"} %g\n", escapeLabel(ep), h.sum)
+		p("a64fxbench_serve_request_seconds_count{endpoint=\"%s\"} %d\n", escapeLabel(ep), h.total)
+	}
+
+	if len(m.stages) > 0 {
+		p("# HELP a64fxbench_serve_stage_seconds Per-stage request latency from span telemetry.\n")
+		p("# TYPE a64fxbench_serve_stage_seconds histogram\n")
+		stages := make([]string, 0, len(m.stages))
+		for st := range m.stages {
+			stages = append(stages, st)
+		}
+		sort.Strings(stages)
+		for _, st := range stages {
+			h := m.stages[st]
+			var cum uint64
+			for i, ub := range h.bounds {
+				cum += h.counts[i]
+				p("a64fxbench_serve_stage_seconds_bucket{stage=\"%s\",le=\"%g\"} %d\n", escapeLabel(st), ub, cum)
+			}
+			p("a64fxbench_serve_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", escapeLabel(st), h.total)
+			p("a64fxbench_serve_stage_seconds_sum{stage=\"%s\"} %g\n", escapeLabel(st), h.sum)
+			p("a64fxbench_serve_stage_seconds_count{stage=\"%s\"} %d\n", escapeLabel(st), h.total)
+		}
 	}
 
 	_, err := w.Write(b)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"a64fxbench/internal/core"
 	"a64fxbench/internal/spec"
 	"a64fxbench/internal/sweep"
+	"a64fxbench/internal/telemetry"
 )
 
 // StatusClientClosedRequest is the (nginx-convention) status recorded
@@ -36,6 +38,20 @@ type Config struct {
 	// CacheEntries caps the response cache, evicting oldest-first
 	// (≤ 0 means 4096).
 	CacheEntries int
+	// SlowRequests is how many of the slowest requests the flight
+	// recorder retains for /v1/debug/slow (≤ 0 means 32).
+	SlowRequests int
+	// ErroredRequests is the flight recorder's ring size for requests
+	// that finished with status ≥ 400 (≤ 0 means 64).
+	ErroredRequests int
+	// Logger, when non-nil, receives one structured line per /v1
+	// request (request id, op, status, cache state, per-stage
+	// durations). Nil disables request logging.
+	Logger *slog.Logger
+	// DisableTelemetry turns off per-request span collection, the
+	// flight recorder and request logging; responses still carry
+	// X-Request-ID. servebench uses it to price the span layer.
+	DisableTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +87,8 @@ type Server struct {
 	eng    *sweep.Engine
 	flight *flightGroup
 	met    *Metrics
+	rec    *telemetry.Recorder
+	logger *slog.Logger
 	mux    *http.ServeMux
 
 	sem   chan struct{} // running executions, cap MaxConcurrent
@@ -91,6 +109,8 @@ func New(cfg Config) *Server {
 		eng:    sweep.New(cfg.Workers),
 		flight: newFlightGroup(),
 		met:    newMetrics(),
+		rec:    telemetry.NewRecorder(cfg.SlowRequests, cfg.ErroredRequests),
+		logger: cfg.Logger,
 		mux:    http.NewServeMux(),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		slots:  make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
@@ -107,12 +127,17 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the mux wrapped in the
+// request-identity/telemetry middleware.
+func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
+
+// Recorder exposes the slow-request flight recorder (tests).
+func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
 
 // Metrics exposes the server's instrumentation (tests, servebench).
 func (s *Server) Metrics() *Metrics { return s.met }
@@ -152,40 +177,63 @@ func (s *Server) opHandler(op string) http.HandlerFunc {
 
 // serveOp is the request path every operation endpoint shares:
 // strict-decode → validate arity and format → response cache →
-// singleflight → bounded-queue execution.
+// singleflight → bounded-queue execution. Each stage runs under its own
+// span (a child of the middleware's request root); stage names tile the
+// request end to end — decode, cache-lookup, singleflight-wait, write —
+// so their durations sum to the logged latency, with the leader's
+// admission/engine-execute/render spans nested inside the wait.
 func (s *Server) serveOp(op string, w http.ResponseWriter, r *http.Request) int {
+	span := telemetry.SpanFrom(r.Context())
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		return writeError(w, http.StatusMethodNotAllowed,
 			fmt.Errorf("%s: use POST with a JSON request body", op))
 	}
+	dec := span.Child("decode")
 	req, err := core.DecodeRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = checkArity(op, req)
+	}
+	if err == nil {
+		err = CheckFormat(op, req.Format)
+	}
+	dec.Fail(err)
+	dec.End()
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err)
-	}
-	if err := checkArity(op, req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
-	}
-	if err := CheckFormat(op, req.Format); err != nil {
 		return writeError(w, http.StatusBadRequest, err)
 	}
 
 	key := op + ":" + req.Digest()
-	if resp, ok := s.cacheGet(key); ok {
+	span.SetAttr("digest", req.Digest())
+	lookup := span.Child("cache-lookup")
+	resp, ok := s.cacheGet(key)
+	lookup.End()
+	if ok {
 		s.met.CacheHit()
-		return writeResponse(w, resp, "hit")
+		span.SetAttr("cache", "hit")
+		return s.writeResponseSpan(span, w, resp, "hit")
 	}
 	s.met.CacheMiss()
 
+	wait := span.Child("singleflight-wait")
 	resp, shared, err := s.flight.Do(r.Context(), key,
-		func(ctx context.Context) *response { return s.execute(ctx, op, req) },
+		func(ctx context.Context) *response {
+			// The leader runs detached from any one HTTP request; its
+			// admission/execute/render spans nest under the initiating
+			// request's wait span (safe even after that trace finished —
+			// trees are snapshots and the trace is lock-protected).
+			return s.execute(telemetry.ContextWithSpan(ctx, wait), op, req)
+		},
 		func(resp *response) {
 			if resp.status == http.StatusOK {
 				s.cachePut(key, resp)
 			}
 		})
+	wait.End()
 	if err != nil {
 		// The client went away while waiting; nothing to write.
+		wait.Fail(err)
+		span.SetAttr("cache", "abandoned")
 		return StatusClientClosedRequest
 	}
 	xc := "miss"
@@ -193,7 +241,15 @@ func (s *Server) serveOp(op string, w http.ResponseWriter, r *http.Request) int 
 		s.met.Coalesced()
 		xc = "coalesced"
 	}
-	return writeResponse(w, resp, xc)
+	span.SetAttr("cache", xc)
+	return s.writeResponseSpan(span, w, resp, xc)
+}
+
+// writeResponseSpan is writeResponse under a "write" stage span.
+func (s *Server) writeResponseSpan(span *telemetry.Span, w http.ResponseWriter, resp *response, xcache string) int {
+	ws := span.Child("write")
+	defer ws.End()
+	return writeResponse(w, resp, xcache)
 }
 
 // execute runs one operation under admission control. The slots channel
@@ -202,9 +258,13 @@ func (s *Server) serveOp(op string, w http.ResponseWriter, r *http.Request) int 
 // execution budget; waiting on it is the queue, and the wait honors the
 // flight context so abandoned work is torn down.
 func (s *Server) execute(ctx context.Context, op string, req core.Request) *response {
+	span := telemetry.SpanFrom(ctx)
+	adm := span.Child("admission")
 	select {
 	case s.slots <- struct{}{}:
 	default:
+		adm.SetAttr("rejected", true)
+		adm.End()
 		// Full house: every execution slot busy and the queue at
 		// capacity. Retry-After is the queue drain horizon, crudely:
 		// one second per queued execution per worker, at least 1.
@@ -223,10 +283,13 @@ func (s *Server) execute(ctx context.Context, op string, req core.Request) *resp
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.met.AddQueued(-1)
+		adm.Fail(ctx.Err())
+		adm.End()
 		return &response{status: StatusClientClosedRequest, contentType: "application/json",
 			body: errBody(fmt.Errorf("%s: abandoned while queued", op))}
 	}
 	s.met.AddQueued(-1)
+	adm.End()
 	s.met.AddInflight(1)
 	defer func() {
 		<-s.sem
@@ -235,17 +298,39 @@ func (s *Server) execute(ctx context.Context, op string, req core.Request) *resp
 
 	var buf bytes.Buffer
 	var err error
+	exec := span.Child("engine-execute")
+	execCtx := telemetry.ContextWithSpan(ctx, exec)
 	switch op {
 	case "run", "sweep":
-		err = WriteRun(ctx, &buf, s.eng, req)
+		var results []sweep.Result
+		results, err = RunArtifacts(execCtx, s.eng, req)
+		if err == nil {
+			err = sweep.FirstError(results)
+		}
+		exec.Fail(err)
+		exec.End()
+		if err == nil {
+			render := span.Child("render")
+			err = WriteArtifacts(&buf, results, req)
+			render.Fail(err)
+			render.End()
+		}
 	case "trace":
-		err = WriteTrace(ctx, &buf, req)
+		err = WriteTrace(execCtx, &buf, req)
+		exec.Fail(err)
+		exec.End()
 	case "links":
-		err = WriteLinks(ctx, &buf, req)
+		err = WriteLinks(execCtx, &buf, req)
+		exec.Fail(err)
+		exec.End()
 	case "counters":
-		err = WriteCounters(ctx, &buf, req, s.cfg.Workers)
+		err = WriteCounters(execCtx, &buf, req, s.cfg.Workers)
+		exec.Fail(err)
+		exec.End()
 	default:
 		err = fmt.Errorf("unknown operation %q", op)
+		exec.Fail(err)
+		exec.End()
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -412,13 +497,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.Observe("/v1/healthz", http.StatusOK, time.Since(start))
 }
 
-// handleMetrics renders the Prometheus text exposition.
+// handleMetrics renders the Prometheus text exposition. HEAD answers
+// with the headers only, so scrapers and probes can check liveness
+// without paying for the body.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("metrics: use GET"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	s.met.WritePrometheus(w)
 }

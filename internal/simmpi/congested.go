@@ -2,6 +2,7 @@ package simmpi
 
 import (
 	"a64fxbench/internal/congestion"
+	"a64fxbench/internal/telemetry"
 	"a64fxbench/internal/units"
 )
 
@@ -45,12 +46,17 @@ func (r *Rank) nextFlowSeq(dst, tag int) int {
 }
 
 // recordAndSolve runs the contention-free recording pass and solves the
-// flow schedule over the fabric's routed links.
-func recordAndSolve(cfg JobConfig, body func(*Rank) error) (*congestion.Solution, error) {
+// flow schedule over the fabric's routed links. jobSpan (nil-safe)
+// receives one span per replay phase: the recording pass and the
+// max-min fair solve.
+func recordAndSolve(cfg JobConfig, body func(*Rank) error, jobSpan *telemetry.Span) (*congestion.Solution, error) {
+	recSpan := jobSpan.Child("replay-record")
 	recCfg := cfg
 	recCfg.Sink = nil     // the recording pass is never traced
 	recCfg.Counters = nil // ... and never counted: only pass two's times are real
 	ranks, err := runRanks(recCfg, body, &congestState{recording: true})
+	recSpan.Fail(err)
+	recSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +64,9 @@ func recordAndSolve(cfg JobConfig, body func(*Rank) error) (*congestion.Solution
 	for _, r := range ranks {
 		flows = append(flows, r.flows...)
 	}
+	solveSpan := jobSpan.Child("replay-solve")
+	solveSpan.SetAttr("flows", len(flows))
+	defer solveSpan.End()
 	f := cfg.Fabric
 	return congestion.Solve(congestion.Config{
 		Topo:              f.Topo,

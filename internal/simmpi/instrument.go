@@ -3,6 +3,7 @@ package simmpi
 import (
 	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/telemetry"
 )
 
 // Instrumentation bundles the per-run observability and network-pricing
@@ -33,6 +34,11 @@ type Instrumentation struct {
 	// hierarchy model. Like Congestion it changes simulated results and
 	// is part of the artifact cache key.
 	Model perfmodel.Model
+	// Telemetry, when non-nil, is the parent span under which the
+	// runtime records each simulated job's setup/run/replay phases
+	// (wall clock) and virtual makespan. Like Trace it never alters
+	// simulated results; nil — the default — costs nothing.
+	Telemetry *telemetry.Span
 }
 
 // Apply copies the bundle into a job configuration. Benchmarks call it
@@ -42,4 +48,5 @@ func (i Instrumentation) Apply(job *JobConfig) {
 	job.Congestion = i.Congestion
 	job.Counters = i.Counters
 	job.Model = i.Model
+	job.Telemetry = i.Telemetry
 }

@@ -26,6 +26,7 @@ import (
 	"a64fxbench/internal/metrics"
 	"a64fxbench/internal/netmodel"
 	"a64fxbench/internal/perfmodel"
+	"a64fxbench/internal/telemetry"
 	"a64fxbench/internal/topo"
 	"a64fxbench/internal/units"
 	"a64fxbench/internal/vclock"
@@ -136,6 +137,13 @@ type JobConfig struct {
 	// changes simulated results, so it is part of every artifact's
 	// identity (core.OptionsKey.Model).
 	Model perfmodel.Model
+	// Telemetry, when non-nil, is the parent span the runtime hangs the
+	// job's phase spans under: setup, the congestion record/solve
+	// passes, the run pass, report assembly, and the job's virtual
+	// makespan (a virtual-clock span). Nil — the default — records
+	// nothing and costs nothing; telemetry never changes simulated
+	// results.
+	Telemetry *telemetry.Span
 }
 
 // validate normalises and checks the configuration.
@@ -916,21 +924,42 @@ func (rep Report) Seconds() float64 { return rep.Makespan.Seconds() }
 // aggregated report. The first non-nil error from any rank aborts the
 // report (but all goroutines are still joined).
 func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
+	label := cfg.Label
+	if label == "" {
+		label = fmt.Sprintf("job p=%d", cfg.Procs)
+	}
+	jobSpan := cfg.Telemetry.Child("job:" + label)
+	defer jobSpan.End()
+	setup := jobSpan.Child("setup")
 	if err := cfg.validate(); err != nil {
+		setup.Fail(err)
+		setup.End()
+		jobSpan.Fail(err)
 		return Report{}, err
 	}
+	setup.End()
+	jobSpan.SetAttr("ranks", cfg.Procs)
+	jobSpan.SetAttr("nodes", cfg.Nodes)
+	jobSpan.SetAttr("engine", string(cfg.Engine))
 	var cs *congestState
 	if cfg.Congestion && cfg.Nodes > 1 {
-		sol, err := recordAndSolve(cfg, body)
+		sol, err := recordAndSolve(cfg, body, jobSpan)
 		if err != nil {
+			jobSpan.Fail(err)
 			return Report{}, err
 		}
 		cs = &congestState{sol: sol}
 	}
+	runSpan := jobSpan.Child("run-pass")
 	ranks, err := runRanks(cfg, body, cs)
+	runSpan.Fail(err)
+	runSpan.End()
 	if err != nil {
+		jobSpan.Fail(err)
 		return Report{}, err
 	}
+	reportSpan := jobSpan.Child("report")
+	defer reportSpan.End()
 
 	rep := Report{Ranks: make([]RankResult, cfg.Procs)}
 	if cs != nil {
@@ -993,6 +1022,11 @@ func Run(cfg JobConfig, body func(*Rank) error) (Report, error) {
 			Start: vclock.Time(rep.Makespan), Duration: rep.Makespan,
 		})
 	}
+	// The virtual-clock side of the story: how long the simulated
+	// machine ran, alongside the wall-clock spans of how long the host
+	// worked to simulate it.
+	jobSpan.Record("virtual-makespan", telemetry.ClockVirtual, 0, int64(rep.Makespan),
+		telemetry.Attr{Key: "gflops", Value: rep.GFLOPs()})
 	return rep, nil
 }
 

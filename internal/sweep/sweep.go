@@ -21,6 +21,7 @@ import (
 
 	"a64fxbench/internal/core"
 	"a64fxbench/internal/simmpi"
+	"a64fxbench/internal/telemetry"
 )
 
 // Result is the outcome of one experiment in a sweep.
@@ -167,6 +168,16 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 	if err := ctx.Err(); err != nil {
 		return Result{ID: id, Err: err}
 	}
+	// Per-artifact telemetry: one span per requested id, a child of
+	// whatever span the caller carried in ctx (the serve daemon's
+	// request, or nothing — every method on a nil span is a no-op).
+	// Unlike Trace/Profile/Counters, telemetry does NOT bypass the
+	// artifact cache: spans describe this request's path, and "served
+	// from cache" is itself the story — hits are annotated cached=true
+	// and simply carry no job spans, because nothing executed.
+	span := telemetry.SpanFrom(ctx).Child("artifact:" + id)
+	defer span.End()
+	opt.Telemetry = span
 	if e.SinkFor != nil {
 		if s := e.SinkFor(id); s != nil {
 			opt.Trace = s
@@ -188,6 +199,7 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 			}
 		}
 		art, err := runExperiment(id, opt)
+		span.Fail(err)
 		res := Result{ID: id, Artifact: art, Err: err, Elapsed: time.Since(start)}
 		if mem != nil {
 			res.Timeline = mem.Events
@@ -197,15 +209,19 @@ func (e *Engine) runOne(ctx context.Context, id string, opt core.Options) Result
 	entry, owner := e.entryFor(cacheKey{id, opt.ArtifactKey(), opt.Engine})
 	if !owner {
 		// Someone else is (or was) computing this key; wait for it.
+		span.SetAttr("cached", true)
 		select {
 		case <-entry.ready:
+			span.Fail(entry.err)
 			return Result{ID: id, Artifact: entry.art, Err: entry.err,
 				Elapsed: time.Since(start), Cached: true}
 		case <-ctx.Done():
+			span.Fail(ctx.Err())
 			return Result{ID: id, Err: ctx.Err()}
 		}
 	}
 	art, err := runExperiment(id, opt)
+	span.Fail(err)
 	entry.art, entry.err = art, err
 	close(entry.ready)
 	return Result{ID: id, Artifact: art, Err: err, Elapsed: time.Since(start)}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one completed request as the flight recorder retains it:
+// identity, outcome, the server-counter snapshot at completion, and the
+// full span tree. Entries are immutable once observed.
+type Entry struct {
+	RequestID string `json:"request_id"`
+	// Op is the operation endpoint, e.g. "/v1/sweep".
+	Op string `json:"op"`
+	// Digest is the normalized request digest ("" when the request
+	// failed before decoding).
+	Digest string `json:"digest,omitempty"`
+	Status int    `json:"status"`
+	// Cache is the response-cache outcome: hit, miss, coalesced, or ""
+	// for requests that never reached the cache.
+	Cache string    `json:"cache,omitempty"`
+	Start time.Time `json:"start"`
+	// DurationMS is the end-to-end request latency in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Counters snapshots the server's own gauges/counters at the moment
+	// the request completed (inflight, queued, cache totals, …).
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Spans is the request's span tree.
+	Spans *SpanNode `json:"spans,omitempty"`
+}
+
+// Label is the entry's one-line identity, used when an entry names a
+// track in an external viewer (the Chrome export's process name).
+func (e *Entry) Label() string {
+	return fmt.Sprintf("%s %s (%d, %.1fms)", e.RequestID, e.Op, e.Status, e.DurationMS)
+}
+
+// WriteText renders the entry (header line + span tree) for the
+// flight recorder's text view.
+func (e *Entry) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s %s status %d cache %s %.3fms digest %.12s\n",
+		e.RequestID, e.Op, e.Status, orDash(e.Cache), e.DurationMS, e.Digest); err != nil {
+		return err
+	}
+	return WriteTree(w, e.Spans)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Recorder is the slow-request flight recorder: a bounded in-memory
+// store retaining the N slowest requests seen so far plus a ring of the
+// most recent errored requests (status ≥ 400, client hangups included).
+// Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	slowCap int
+	errCap  int
+	slow    []*Entry // unordered; the minimum is evicted on overflow
+	errored []*Entry // ring, errNext is the next overwrite slot
+	errNext int
+	total   uint64
+}
+
+// NewRecorder builds a recorder keeping the slowCap slowest and the
+// errCap most recent errored requests (≤ 0 selects the defaults 32 and
+// 64).
+func NewRecorder(slowCap, errCap int) *Recorder {
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	if errCap <= 0 {
+		errCap = 64
+	}
+	return &Recorder{slowCap: slowCap, errCap: errCap}
+}
+
+// Observe records one completed request. Errored requests (status ≥
+// 400) always enter the errored ring; successful ones compete for the
+// slowest set.
+func (r *Recorder) Observe(e *Entry) {
+	if r == nil || e == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if e.Status >= 400 {
+		if len(r.errored) < r.errCap {
+			r.errored = append(r.errored, e)
+		} else {
+			r.errored[r.errNext] = e
+			r.errNext = (r.errNext + 1) % r.errCap
+		}
+		return
+	}
+	if len(r.slow) < r.slowCap {
+		r.slow = append(r.slow, e)
+		return
+	}
+	min := 0
+	for i, s := range r.slow {
+		if s.DurationMS < r.slow[min].DurationMS {
+			min = i
+		}
+	}
+	if e.DurationMS > r.slow[min].DurationMS {
+		r.slow[min] = e
+	}
+}
+
+// Snapshot is the recorder's exported state: the retained slow requests
+// (slowest first) and the errored ring (most recent first).
+type Snapshot struct {
+	// Total counts every request observed since start, retained or not.
+	Total   uint64   `json:"total_observed"`
+	Slowest []*Entry `json:"slowest"`
+	Errored []*Entry `json:"errored"`
+}
+
+// Snapshot returns a stable copy of the recorder's current state.
+func (r *Recorder) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Total: r.total, Slowest: make([]*Entry, len(r.slow))}
+	copy(snap.Slowest, r.slow)
+	sort.SliceStable(snap.Slowest, func(i, j int) bool {
+		return snap.Slowest[i].DurationMS > snap.Slowest[j].DurationMS
+	})
+	snap.Errored = r.orderedErrored()
+	return snap
+}
+
+// orderedErrored returns the errored ring newest-first; the caller
+// holds the lock.
+func (r *Recorder) orderedErrored() []*Entry {
+	out := make([]*Entry, 0, len(r.errored))
+	if len(r.errored) < r.errCap {
+		for i := len(r.errored) - 1; i >= 0; i-- {
+			out = append(out, r.errored[i])
+		}
+		return out
+	}
+	for i := 1; i <= r.errCap; i++ {
+		out = append(out, r.errored[(r.errNext-i+r.errCap)%r.errCap])
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteTree renders a span tree as indented text, one span per line:
+//
+//	request                          12.41ms
+//	├─ decode                         0.03ms
+//	├─ cache-lookup                   0.01ms
+//	└─ singleflight-wait             12.30ms
+//	   └─ engine-execute             11.90ms
+//
+// Virtual-clock spans print their virtual duration tagged "virtual".
+// Deterministic for a given tree.
+func WriteTree(w io.Writer, n *SpanNode) error {
+	return writeTree(w, n, "", "")
+}
+
+func writeTree(w io.Writer, n *SpanNode, prefix, childPrefix string) error {
+	if n == nil {
+		return nil
+	}
+	tag := ""
+	if n.Clock == string(ClockVirtual) {
+		tag = " virtual"
+	}
+	if n.Unfinished {
+		tag += " (unfinished)"
+	}
+	if n.Error != "" {
+		tag += " error: " + n.Error
+	}
+	attrs := ""
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			attrs += fmt.Sprintf(" %s=%v", k, n.Attrs[k])
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s%-*s %10.3fms%s%s\n",
+		prefix, 44-len(prefix), n.Name,
+		time.Duration(n.DurationNS).Seconds()*1000, tag, attrs); err != nil {
+		return err
+	}
+	for i, c := range n.Children {
+		connector, next := "├─ ", "│  "
+		if i == len(n.Children)-1 {
+			connector, next = "└─ ", "   "
+		}
+		if err := writeTree(w, c, childPrefix+connector, childPrefix+next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
